@@ -1,0 +1,293 @@
+(* tmcheck: command-line front end for the checkers and experiment
+   harness.
+
+     tmcheck figures                 model-check all figure programs
+     tmcheck drf NAME                DRF verdict for one figure program
+     tmcheck opacity [--variant V]   classify recorded TL2 histories
+     tmcheck run NAME [options]      runtime trials of a figure on a TM *)
+
+open Cmdliner
+open Tm_lang
+
+let figure_by_name name =
+  let open Figures in
+  match name with
+  | "fig1a" -> Some (fig1a ~fenced:true ())
+  | "fig1a-nofence" -> Some (fig1a ~fenced:false ())
+  | "fig1b" -> Some (fig1b ~fenced:true ())
+  | "fig1b-nofence" -> Some (fig1b ~fenced:false ())
+  | "fig2" -> Some fig2
+  | "fig3" -> Some fig3
+  | "fig6" -> Some fig6
+  | "fig1a-ro" -> Some (fig1a_read_only_privatizer ~fenced:true ())
+  | "fig1a-ro-nofence" -> Some (fig1a_read_only_privatizer ~fenced:false ())
+  | _ -> None
+
+let figure_names =
+  [
+    "fig1a"; "fig1a-nofence"; "fig1b"; "fig1b-nofence"; "fig2"; "fig3";
+    "fig6"; "fig1a-ro"; "fig1a-ro-nofence";
+  ]
+
+let report_figure (fig : Figures.figure) =
+  let drf = Explore.is_drf ~fuel:fig.Figures.f_fuel fig.Figures.f_program in
+  let outcomes = Explore.run ~fuel:fig.Figures.f_fuel fig.Figures.f_program in
+  let post_ok =
+    List.for_all
+      (fun o ->
+        o.Explore.diverged || fig.Figures.f_post o.Explore.envs o.Explore.regs)
+      outcomes
+  in
+  Printf.printf "%-46s DRF=%-5b postcondition=%-5b executions=%d\n"
+    fig.Figures.f_name drf post_ok (List.length outcomes)
+
+let figures_cmd =
+  let doc = "Model-check every figure program under strong atomicity." in
+  let run () =
+    List.iter
+      (fun name ->
+        match figure_by_name name with
+        | Some fig -> report_figure fig
+        | None -> ())
+      figure_names
+  in
+  Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ const ())
+
+let figure_arg =
+  let doc = "Figure program name: " ^ String.concat ", " figure_names in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
+
+let drf_cmd =
+  let doc = "Decide DRF(P, s, H_atomic) for one figure program." in
+  let run name =
+    match figure_by_name name with
+    | None ->
+        Printf.eprintf "unknown figure %s\n" name;
+        exit 2
+    | Some fig ->
+        let races =
+          Explore.races ~fuel:fig.Figures.f_fuel fig.Figures.f_program
+        in
+        if races = [] then print_endline "DRF"
+        else begin
+          Printf.printf "RACY (%d racy executions)\n" (List.length races);
+          match races with
+          | (h, race) :: _ ->
+              Format.printf "example: %a@." (Tm_relations.Race.pp_race h) race
+          | [] -> ()
+        end
+  in
+  Cmd.v (Cmd.info "drf" ~doc) Term.(const run $ figure_arg)
+
+let variant_arg =
+  let variant_conv =
+    Arg.enum
+      [
+        ("normal", Tl2.Normal);
+        ("no-read-validation", Tl2.No_read_validation);
+        ("no-commit-validation", Tl2.No_commit_validation);
+      ]
+  in
+  Arg.(
+    value & opt variant_conv Tl2.Normal
+    & info [ "variant" ] ~docv:"VARIANT"
+        ~doc:"TL2 variant: normal, no-read-validation, no-commit-validation")
+
+let runs_arg =
+  Arg.(value & opt int 10 & info [ "runs" ] ~docv:"N" ~doc:"Number of runs")
+
+let opacity_cmd =
+  let doc =
+    "Record random-workload TL2 histories and classify them (DRF + strong \
+     opacity)."
+  in
+  let run variant runs =
+    let delay = if variant = Tl2.Normal then 0 else 20_000 in
+    let txn_spin = if variant = Tl2.Normal then 0 else 200_000 in
+    for seed = 1 to runs do
+      let h =
+        Tm_workloads.Random_workload.generate ~variant ~commit_delay:delay
+          ~txn_spin ~seed ()
+      in
+      Format.printf "seed %2d (%3d actions): %a@." seed
+        (Tm_model.History.length h)
+        Tm_workloads.Random_workload.pp_verdict
+        (Tm_workloads.Random_workload.check_history h)
+    done
+  in
+  Cmd.v (Cmd.info "opacity" ~doc) Term.(const run $ variant_arg $ runs_arg)
+
+let policy_arg =
+  let policy_conv =
+    Arg.enum
+      (List.map
+         (fun p -> (Tm_runtime.Fence_policy.name p, p))
+         Tm_runtime.Fence_policy.all)
+  in
+  Arg.(
+    value
+    & opt policy_conv Tm_runtime.Fence_policy.Selective
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Fence policy: none, selective, conservative, skip-read-only")
+
+let trials_arg =
+  Arg.(
+    value & opt int 100 & info [ "trials" ] ~docv:"N" ~doc:"Number of trials")
+
+let tm_arg =
+  Arg.(
+    value & opt string "tl2"
+    & info [ "tm" ] ~docv:"TM" ~doc:"TM implementation: tl2, norec, lock")
+
+let run_cmd =
+  let doc = "Run a figure program repeatedly on a real TM and count \
+             postcondition violations."
+  in
+  let run name tm_name policy trials =
+    match figure_by_name name with
+    | None ->
+        Printf.eprintf "unknown figure %s\n" name;
+        exit 2
+    | Some base ->
+        (* the handshake variants align the anomaly windows *)
+        let fig =
+          let open Figures in
+          match name with
+          | "fig1a" -> fig1a ~handshake:true ~fenced:true ()
+          | "fig1a-nofence" -> fig1a ~handshake:true ~fenced:false ()
+          | "fig1b" -> fig1b ~handshake:true ~spin:300_000 ~fenced:true ()
+          | "fig1b-nofence" ->
+              fig1b ~handshake:true ~spin:300_000 ~fenced:false ()
+          | "fig1a-ro" ->
+              fig1a_read_only_privatizer ~handshake:true ~fenced:true ()
+          | "fig1a-ro-nofence" ->
+              fig1a_read_only_privatizer ~handshake:true ~fenced:false ()
+          | _ -> base
+        in
+        let nthreads = Array.length fig.Figures.f_program in
+        let fuel = 700_000 in
+        let report (stats : int * int * int * int) =
+          let trials, violations, divergences, aborted = stats in
+          Printf.printf
+            "%s on %s, policy %s: %d violations, %d divergences, %d runs \
+             with aborts (of %d trials)\n"
+            fig.Figures.f_name tm_name
+            (Tm_runtime.Fence_policy.name policy)
+            violations divergences aborted trials
+        in
+        (match tm_name with
+        | "tl2" ->
+            let module R = Tm_workloads.Runner.Make (Tl2) in
+            let make_tm () =
+              Tl2.create_with ~commit_delay:300_000 ~delay_threads:[ 1 ]
+                ~nregs:Figures.nregs ~nthreads ()
+            in
+            let s =
+              R.run_trials ~fuel ~make_tm ~policy ~trials ~nregs:Figures.nregs
+                fig
+            in
+            report (s.R.trials, s.R.violations, s.R.divergences, s.R.aborted_runs)
+        | "norec" ->
+            let module R = Tm_workloads.Runner.Make (Tm_baselines.Norec) in
+            let make_tm () =
+              Tm_baselines.Norec.create ~nregs:Figures.nregs ~nthreads ()
+            in
+            let s =
+              R.run_trials ~fuel ~make_tm ~policy ~trials ~nregs:Figures.nregs
+                fig
+            in
+            report (s.R.trials, s.R.violations, s.R.divergences, s.R.aborted_runs)
+        | "lock" ->
+            let module R = Tm_workloads.Runner.Make (Tm_baselines.Global_lock) in
+            let make_tm () =
+              Tm_baselines.Global_lock.create ~nregs:Figures.nregs ~nthreads ()
+            in
+            let s =
+              R.run_trials ~fuel ~make_tm ~policy ~trials ~nregs:Figures.nregs
+                fig
+            in
+            report (s.R.trials, s.R.violations, s.R.divergences, s.R.aborted_runs)
+        | other ->
+            Printf.eprintf "unknown TM %s\n" other;
+            exit 2)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ figure_arg $ tm_arg $ policy_arg $ trials_arg)
+
+(* ---------------------- history file commands ---------------------- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"History file (see Tm_model.Text for the                                  format)")
+
+let hist_cmd =
+  let doc =
+    "Check a history file: well-formedness, data races (offline and      online detectors), strong opacity, and the separation disciplines."
+  in
+  let run path =
+    match Tm_model.Text.of_file path with
+    | Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 2
+    | Ok h -> (
+        Printf.printf "%d actions\n" (Tm_model.History.length h);
+        (match Tm_model.History.well_formedness_errors h with
+        | [] -> print_endline "well-formed: yes"
+        | errs ->
+            print_endline "well-formed: NO";
+            List.iter (fun e -> Printf.printf "  %s\n" e) errs);
+        let rels = Tm_relations.Relations.of_history h in
+        Format.printf "%a@." Tm_relations.Race.pp_report rels;
+        let online = Tm_relations.Online_race.check h in
+        Printf.printf "online detector: %s\n"
+          (if online = [] then "no races" else
+             Printf.sprintf "%d race(s)" (List.length online));
+        Format.printf "strong opacity: %a@." Tm_opacity.Checker.pp_verdict
+          (Tm_opacity.Checker.check h);
+        Format.printf "incremental monitor: %a@." Tm_opacity.Monitor.pp_verdict
+          (Tm_opacity.Monitor.check h);
+        Printf.printf "static separation: %s\n"
+          (if Tm_disciplines.Separation.Static.ok h then "yes" else "no"))
+  in
+  Cmd.v (Cmd.info "hist" ~doc) Term.(const run $ file_arg)
+
+let out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Write the history to FILE")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed")
+
+let record_cmd =
+  let doc =
+    "Record a random privatization workload on instrumented TL2 and      print (or save) the history."
+  in
+  let run variant seed out =
+    let delay = if variant = Tl2.Normal then 0 else 20_000 in
+    let txn_spin = if variant = Tl2.Normal then 0 else 200_000 in
+    let h =
+      Tm_workloads.Random_workload.generate ~variant ~commit_delay:delay
+        ~txn_spin ~seed ()
+    in
+    (match out with
+    | Some path ->
+        Tm_model.Text.to_file path h;
+        Printf.printf "wrote %d actions to %s\n" (Tm_model.History.length h)
+          path
+    | None -> print_string (Tm_model.Text.to_string h));
+    Format.printf "verdict: %a@." Tm_workloads.Random_workload.pp_verdict
+      (Tm_workloads.Random_workload.check_history h)
+  in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(const run $ variant_arg $ seed_arg $ out_arg)
+
+let () =
+  let doc = "checkers and experiments for Safe Privatization in TM" in
+  let info = Cmd.info "tmcheck" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ figures_cmd; drf_cmd; opacity_cmd; run_cmd; hist_cmd; record_cmd ]))

@@ -1,0 +1,1 @@
+examples/datastructures.ml: Array Domain Printf Tl2 Tm_data Tm_runtime

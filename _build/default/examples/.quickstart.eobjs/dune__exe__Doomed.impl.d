@@ -1,0 +1,1 @@
+examples/doomed.ml: Printf Tl2 Tm_lang Tm_runtime Tm_workloads

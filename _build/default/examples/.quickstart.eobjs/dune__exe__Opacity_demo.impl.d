@@ -1,0 +1,1 @@
+examples/opacity_demo.ml: Format Printf Random_workload Tl2 Tm_model Tm_workloads

@@ -1,0 +1,1 @@
+examples/opacity_demo.mli:

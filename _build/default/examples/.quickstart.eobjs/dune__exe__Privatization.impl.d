@@ -1,0 +1,1 @@
+examples/privatization.ml: List Printf Tl2 Tm_lang Tm_runtime Tm_workloads

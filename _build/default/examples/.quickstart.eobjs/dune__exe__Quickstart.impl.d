@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Domain Printf Random Tl2 Tm_runtime

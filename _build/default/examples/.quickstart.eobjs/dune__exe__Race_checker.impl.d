@@ -1,0 +1,1 @@
+examples/race_checker.ml: Explore Figures Format List Printf Tm_lang Tm_relations

@@ -1,0 +1,48 @@
+(* Strong opacity of recorded TL2 histories (§6-§7).
+
+   A random workload following the paper's discipline (transactional
+   sharing plus fenced privatization phases) runs on instrumented TL2;
+   the recorded history is checked for data-race freedom and strong
+   opacity with the graph characterization of Theorem 6.5.  Re-running
+   the same workload on fault-injected TL2 variants (validation checks
+   removed) produces histories the checker rejects.
+
+   Run with: dune exec examples/opacity_demo.exe *)
+
+open Tm_workloads
+
+let classify name variant commit_delay runs =
+  let txn_spin = if variant = Tl2.Normal then 0 else 200_000 in
+  let ok, racy, not_opaque =
+    Random_workload.anomaly_rate ~variant ~commit_delay ~txn_spin ~runs ()
+  in
+  Printf.printf "  %-24s ok=%-3d racy=%-3d not-opaque=%-3d  (of %d runs)\n%!"
+    name ok racy not_opaque runs;
+  (ok, racy + not_opaque)
+
+let () =
+  print_endline "strong opacity of recorded TL2 histories";
+  let h = Random_workload.generate ~seed:1 () in
+  Printf.printf "  sample history: %d actions, well-formed: %b\n"
+    (Tm_model.History.length h)
+    (Tm_model.History.is_well_formed h);
+  Format.printf "  verdict: %a@." Random_workload.pp_verdict
+    (Random_workload.check_history h);
+  print_newline ();
+  let _, anomalies_normal = classify "TL2 (correct)" Tl2.Normal 0 15 in
+  let _, anomalies_nrv =
+    classify "TL2 w/o read validation" Tl2.No_read_validation 20_000 15
+  in
+  let _, anomalies_ncv =
+    classify "TL2 w/o commit validation" Tl2.No_commit_validation 20_000 15
+  in
+  print_newline ();
+  assert (anomalies_normal = 0);
+  if anomalies_nrv + anomalies_ncv > 0 then
+    print_endline
+      "the checker accepts every history of correct TL2 and catches the \
+       fault-injected variants"
+  else
+    print_endline
+      "(fault-injected variants produced no anomaly this time — \
+       timing-dependent; rerun or raise runs)"

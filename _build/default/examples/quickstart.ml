@@ -1,0 +1,78 @@
+(* Quickstart: concurrent bank transfers over the TL2 STM.
+
+   Demonstrates the core API: creating a TM instance, running
+   retried-until-commit atomic blocks from several domains, mixing in a
+   read-only audit transaction, and privatizing an account for
+   non-transactional maintenance behind a transactional fence.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module AB = Tm_runtime.Atomic_block.Make (Tl2)
+
+let accounts = 16
+let flag = accounts (* privatization flag guarding account 0 *)
+let initial_balance = 100
+
+let () =
+  let nthreads = 4 in
+  let tm = Tl2.create ~nregs:(accounts + 1) ~nthreads () in
+  (* initialize balances non-transactionally before spawning *)
+  for a = 0 to accounts - 1 do
+    Tl2.write_nt tm ~thread:0 a initial_balance
+  done;
+
+  let transfers_per_thread = 2_000 in
+  let worker thread () =
+    let rng = Random.State.make [| 2026; thread |] in
+    for i = 1 to transfers_per_thread do
+      let src = Random.State.int rng accounts in
+      let dst = Random.State.int rng accounts in
+      let (), _retries =
+        AB.run tm ~thread (fun txn ->
+            (* skip accounts while they are privatized *)
+            if Tl2.read tm txn flag = 0 && src <> dst then begin
+              let vs = Tl2.read tm txn src in
+              let vd = Tl2.read tm txn dst in
+              Tl2.write tm txn src (vs - 1);
+              Tl2.write tm txn dst (vd + 1)
+            end)
+      in
+      (* every 500 transfers, audit the books in a read-only txn *)
+      if i mod 500 = 0 then begin
+        let total, _ =
+          AB.run tm ~thread (fun txn ->
+              let t = ref 0 in
+              if Tl2.read tm txn flag = 0 then
+                for a = 0 to accounts - 1 do
+                  t := !t + Tl2.read tm txn a
+                done
+              else t := accounts * initial_balance;
+              !t)
+        in
+        assert (total = accounts * initial_balance || total = 0)
+      end
+    done
+  in
+  let domains = Array.init nthreads (fun t -> Domain.spawn (worker t)) in
+  Array.iter Domain.join domains;
+
+  (* privatize account 0: set the flag transactionally, fence, then
+     access the account without any instrumentation *)
+  let (), _ = AB.run tm ~thread:0 (fun txn -> Tl2.write tm txn flag 1) in
+  Tl2.fence tm ~thread:0;
+  let balance = Tl2.read_nt tm ~thread:0 0 in
+  Printf.printf "account 0 balance read non-transactionally: %d\n" balance;
+  Tl2.write_nt tm ~thread:0 0 balance;
+  (* publish it back *)
+  let (), _ = AB.run tm ~thread:0 (fun txn -> Tl2.write tm txn flag 0) in
+
+  let total = ref 0 in
+  for a = 0 to accounts - 1 do
+    total := !total + Tl2.read_nt tm ~thread:0 a
+  done;
+  Printf.printf "total balance: %d (expected %d)\n" !total
+    (accounts * initial_balance);
+  Printf.printf "commits: %d, aborts: %d\n" (Tl2.stats_commits tm)
+    (Tl2.stats_aborts tm);
+  assert (!total = accounts * initial_balance);
+  print_endline "quickstart OK"

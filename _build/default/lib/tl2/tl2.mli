@@ -1,0 +1,66 @@
+(** TL2 [Dice, Shalev, Shavit, DISC'06] with RCU-style transactional
+    fences, following the paper's pseudocode (Figure 7 / Figure 9).
+
+    Per register: a value, a version number and a write-lock.  A global
+    clock generates version numbers; transactions read-validate against
+    their begin-time snapshot [rver] and commit with two-phase locking
+    over their write-set, re-validating their read-set before
+    write-back.  A per-thread [active] flag supports the fence: the
+    fence snapshots all active flags, then waits until every thread
+    whose flag was set clears it (lines 33-39 of Figure 7).
+
+    The proof in §7 shows this TM strongly opaque for DRF programs; the
+    {!variant} parameter injects the classic validation bugs so the
+    checker of [Tm_opacity] can be shown to catch them (experiment
+    E8), and [commit_delay] widens the window between read-set
+    validation and write-back to make the delayed-commit anomaly easy
+    to exhibit on unfenced programs (experiment E1). *)
+
+(** Fault-injection variants used by experiment E8. *)
+type variant =
+  | Normal
+  | No_read_validation
+      (** skip the version/lock checks on transactional reads *)
+  | No_commit_validation  (** skip read-set re-validation at commit *)
+
+(** Fence implementations (ablation A1): the paper's two-pass active
+    flag scan (Figure 7) versus RCU-style per-thread epoch grace
+    periods (as in [17]).  Both satisfy Definition A.1's condition 10;
+    the epoch fence never waits for transactions that began after it. *)
+type fence_impl = Flag_scan | Epoch
+
+include Tm_runtime.Tm_intf.S
+
+val create_with :
+  ?recorder:Tm_runtime.Recorder.t ->
+  ?variant:variant ->
+  ?fence_impl:fence_impl ->
+  ?commit_delay:int ->
+  ?writeback_delay:int ->
+  ?delay_threads:int list ->
+  nregs:int ->
+  nthreads:int ->
+  unit ->
+  t
+(** Like [create] but selecting a fault-injection variant and anomaly
+    window-widening delays: [commit_delay] busy-wait iterations between
+    commit-time validation and write-back (the delayed-commit window,
+    E1) and [writeback_delay] iterations between individual register
+    write-backs (the intermediate-state window of Figure 3, E4).
+    [delay_threads] restricts the delays to the given threads (default:
+    all). *)
+
+val clock : t -> int
+(** Current value of the global clock (diagnostics). *)
+
+val timestamp_log : t -> (int * int * int * int) list
+(** [(thread, seq, rver, wver)] of every completed transaction, in
+    completion order; [seq] counts the thread's transactions from 0 and
+    [wver] is [max_int] when the transaction never generated a write
+    timestamp.  Used to validate the timestamp invariants of the
+    paper's TL2 proof (§C, INV.5) against recorded histories. *)
+
+val stats_commits : t -> int
+val stats_aborts : t -> int
+(** Global commit/abort counters (monotonic, approximate under
+    contention only in their relative timing). *)

@@ -1,0 +1,1 @@
+lib/tm_atomic/atomic_tm.ml: Action Array Hashtbl History List Tm_model Types

@@ -1,0 +1,1 @@
+lib/tm_atomic/atomic_tm.mli: Action History Tm_model Types

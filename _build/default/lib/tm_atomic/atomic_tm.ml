@@ -1,0 +1,181 @@
+open Tm_model
+
+let is_non_interleaved (info : History.info) =
+  let h = info.History.history in
+  let is_fence_action i =
+    match (History.get h i).Action.kind with
+    | Action.Request Action.Fbegin | Action.Response Action.Fend -> true
+    | _ -> false
+  in
+  let ok = ref true in
+  Array.iteri
+    (fun k txn ->
+      match txn.History.t_actions with
+      | [] -> ()
+      | first :: _ ->
+          let last = List.fold_left (fun _ i -> i) first txn.History.t_actions in
+          for i = first + 1 to last - 1 do
+            if info.History.txn_of.(i) <> k && not (is_fence_action i) then
+              ok := false
+          done)
+    info.History.txns;
+  !ok
+
+let commit_pending_txns (info : History.info) =
+  let acc = ref [] in
+  Array.iteri
+    (fun k txn ->
+      if History.equal_status txn.History.t_status History.Commit_pending then
+        acc := k :: !acc)
+    info.History.txns;
+  List.rev !acc
+
+let max_action_id (h : History.t) =
+  Array.fold_left (fun m (a : Action.t) -> max m a.Action.id) (-1) h
+
+let complete (info : History.info) commits =
+  let h = info.History.history in
+  let next_id = ref (max_action_id h + 1) in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  (* Index of the trailing txcommit of each commit-pending txn. *)
+  let pending_commit_at = Hashtbl.create 4 in
+  List.iter
+    (fun k ->
+      match List.rev info.History.txns.(k).History.t_actions with
+      | last :: _ -> Hashtbl.replace pending_commit_at last k
+      | [] -> ())
+    (commit_pending_txns info);
+  let out = ref [] in
+  Array.iteri
+    (fun i (a : Action.t) ->
+      out := a :: !out;
+      match Hashtbl.find_opt pending_commit_at i with
+      | Some k ->
+          let resp = if commits k then Action.Committed else Action.Aborted in
+          out := Action.response (fresh ()) a.Action.thread resp :: !out
+      | None -> ())
+    h;
+  History.of_list (List.rev !out)
+
+let completions (info : History.info) =
+  let pending = commit_pending_txns info in
+  let k = List.length pending in
+  let rec range i n = if i >= n then [] else i :: range (i + 1) n in
+  List.map
+    (fun mask ->
+      let commits txn =
+        match List.find_index (fun p -> p = txn) pending with
+        | Some pos -> mask land (1 lsl pos) <> 0
+        | None -> false
+      in
+      complete info commits)
+    (range 0 (1 lsl k))
+
+module Replay = struct
+  type t = {
+    store : (Types.reg, Types.value) Hashtbl.t;
+    pending : (Types.thread_id, (Types.reg, Types.value) Hashtbl.t) Hashtbl.t;
+        (** write set of the open transaction of each thread *)
+  }
+
+  let create () = { store = Hashtbl.create 16; pending = Hashtbl.create 4 }
+
+  let in_txn t thread = Hashtbl.mem t.pending thread
+
+  let store_value t x =
+    match Hashtbl.find_opt t.store x with
+    | Some v -> v
+    | None -> Types.v_init
+
+  let read_value t thread x =
+    match Hashtbl.find_opt t.pending thread with
+    | Some wset when Hashtbl.mem wset x -> Hashtbl.find wset x
+    | _ -> store_value t x
+
+  let step t (a : Action.t) =
+    let thread = a.Action.thread in
+    match a.Action.kind with
+    | Action.Request Action.Txbegin ->
+        Hashtbl.replace t.pending thread (Hashtbl.create 4)
+    | Action.Request (Action.Write (x, v)) -> (
+        match Hashtbl.find_opt t.pending thread with
+        | Some wset -> Hashtbl.replace wset x v
+        | None -> Hashtbl.replace t.store x v (* non-transactional write *))
+    | Action.Response Action.Committed -> (
+        match Hashtbl.find_opt t.pending thread with
+        | Some wset ->
+            Hashtbl.iter (fun x v -> Hashtbl.replace t.store x v) wset;
+            Hashtbl.remove t.pending thread
+        | None -> ())
+    | Action.Response Action.Aborted -> Hashtbl.remove t.pending thread
+    | Action.Request (Action.Read _)
+    | Action.Request Action.Txcommit
+    | Action.Request Action.Fbegin
+    | Action.Response
+        (Action.Okay | Action.Ret_unit | Action.Ret _ | Action.Fend) ->
+        ()
+end
+
+(* Check legality of all matched reads by replaying the history; the
+   fate of each commit-pending transaction is given by [commits]. *)
+let legal_with_choice (info : History.info) commits =
+  let h = info.History.history in
+  let n = History.length h in
+  (* Map the trailing txcommit of each commit-pending txn to its fate. *)
+  let pending_fate = Hashtbl.create 4 in
+  List.iter
+    (fun k ->
+      match List.rev info.History.txns.(k).History.t_actions with
+      | last :: _ -> Hashtbl.replace pending_fate last (commits k)
+      | [] -> ())
+    (commit_pending_txns info);
+  let replay = Replay.create () in
+  let legal = ref true in
+  for i = 0 to n - 1 do
+    let a = History.get h i in
+    (match (a.Action.kind, info.History.request_of.(i)) with
+    | Action.Response (Action.Ret v), Some req -> (
+        match (History.get h req).Action.kind with
+        | Action.Request (Action.Read x) ->
+            if Replay.read_value replay a.Action.thread x <> v then
+              legal := false
+        | _ -> ())
+    | _ -> ());
+    Replay.step replay a;
+    (* Resolve a commit-pending transaction right after its txcommit. *)
+    match Hashtbl.find_opt pending_fate i with
+    | Some true ->
+        Replay.step replay
+          (Action.response (-1) a.Action.thread Action.Committed)
+    | Some false ->
+        Replay.step replay
+          (Action.response (-1) a.Action.thread Action.Aborted)
+    | None -> ()
+  done;
+  !legal
+
+let is_legal_complete (info : History.info) =
+  legal_with_choice info (fun _ -> false)
+
+let mem_info (info : History.info) =
+  is_non_interleaved info
+  &&
+  let pending = commit_pending_txns info in
+  let k = List.length pending in
+  let rec try_mask mask =
+    if mask >= 1 lsl k then false
+    else
+      let commits txn =
+        match List.find_index (fun p -> p = txn) pending with
+        | Some pos -> mask land (1 lsl pos) <> 0
+        | None -> false
+      in
+      legal_with_choice info commits || try_mask (mask + 1)
+  in
+  try_mask 0
+
+let mem h = mem_info (History.analyze h)

@@ -1,0 +1,70 @@
+(** The idealized atomic TM [H_atomic] (§2.4).
+
+    [H_atomic] contains exactly the non-interleaved histories that have
+    a {e completion} — commit-pending transactions resolved to committed
+    or aborted — in which every read is {e legal}: it returns the value
+    of the last preceding write not located in an aborted or live
+    transaction different from the read's own, or [vinit] if there is
+    no such write (Definition B.7).
+
+    Instantiating the language semantics of §2.3 with this TM yields
+    the strongly atomic semantics (transactional sequential
+    consistency). *)
+
+open Tm_model
+
+val is_non_interleaved : History.info -> bool
+(** Actions of a transaction do not overlap with actions of other
+    transactions or of non-transactional accesses.  (Fence actions of
+    other threads may interleave a transaction: a fence is neither.) *)
+
+val commit_pending_txns : History.info -> int list
+(** Indices (into [info.txns]) of commit-pending transactions. *)
+
+val complete : History.info -> (int -> bool) -> History.t
+(** [complete info commits] inserts, immediately after the [txcommit]
+    request of every commit-pending transaction [k], a [committed]
+    response if [commits k] and an [aborted] response otherwise.  The
+    result is a completion of the history in the sense of §2.4. *)
+
+val completions : History.info -> History.t list
+(** All [2^k] completions, [k] the number of commit-pending
+    transactions. *)
+
+val is_legal_complete : History.info -> bool
+(** Every matched read response in a non-interleaved history {e without}
+    commit-pending transactions returns the legal value. *)
+
+val legal_with_choice : History.info -> (int -> bool) -> bool
+(** Legality of the completion [complete info commits], decided without
+    materializing it. *)
+
+val mem : History.t -> bool
+(** [H ∈ H_atomic]: non-interleaved and some completion is legal. *)
+
+val mem_info : History.info -> bool
+(** {!mem} on a pre-analyzed history. *)
+
+(** Incremental replay of the atomic-TM store.  Used both by the
+    legality check and by the strongly-atomic interpreter of the
+    language (tm_lang), which needs to know which value a read must
+    return after a given prefix. *)
+module Replay : sig
+  type t
+
+  val create : unit -> t
+
+  val step : t -> Action.t -> unit
+  (** Feed the next action of a non-interleaved history.  [Committed]
+      responses flush the thread's transactional writes to the store;
+      [Aborted] responses discard them. *)
+
+  val read_value : t -> Types.thread_id -> Types.reg -> Types.value
+  (** The value a read of [x] by thread [t] must return at this point:
+      the thread's own in-transaction write if any, otherwise the
+      current store value. *)
+
+  val in_txn : t -> Types.thread_id -> bool
+  val store_value : t -> Types.reg -> Types.value
+  (** Current committed store value of a register. *)
+end

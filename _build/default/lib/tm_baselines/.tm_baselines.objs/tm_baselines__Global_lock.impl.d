@@ -1,0 +1,1 @@
+lib/tm_baselines/global_lock.ml: Action Array Atomic Domain List Mutex Recorder Tm_model Tm_runtime Types

@@ -1,0 +1,1 @@
+lib/tm_baselines/global_lock.mli: Tm_runtime

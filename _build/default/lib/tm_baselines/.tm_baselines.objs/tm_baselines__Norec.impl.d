@@ -1,0 +1,1 @@
+lib/tm_baselines/norec.ml: Action Array Atomic Domain Hashtbl Recorder Tm_intf Tm_model Tm_runtime Types

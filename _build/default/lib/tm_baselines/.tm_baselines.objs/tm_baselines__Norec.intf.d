@@ -1,0 +1,1 @@
+lib/tm_baselines/norec.mli: Tm_runtime

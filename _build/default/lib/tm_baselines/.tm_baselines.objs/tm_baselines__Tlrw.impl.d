@@ -1,0 +1,1 @@
+lib/tm_baselines/tlrw.ml: Action Array Atomic Domain List Recorder Tm_intf Tm_model Tm_runtime Types

@@ -1,0 +1,1 @@
+lib/tm_baselines/tlrw.mli: Tm_runtime

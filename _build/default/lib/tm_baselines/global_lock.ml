@@ -1,0 +1,93 @@
+open Tm_model
+open Tm_runtime
+
+let name = "global-lock"
+
+type t = {
+  mutex : Mutex.t;
+  reg : int Atomic.t array;
+  active : bool Atomic.t array;
+  recorder : Recorder.t option;
+}
+
+type txn = { thread : int; mutable undo : (int * int) list }
+
+let create ?recorder ~nregs ~nthreads () =
+  {
+    mutex = Mutex.create ();
+    reg = Array.init nregs (fun _ -> Atomic.make Types.v_init);
+    active = Array.init nthreads (fun _ -> Atomic.make false);
+    recorder;
+  }
+
+let log t ~thread kind =
+  match t.recorder with
+  | Some r -> Recorder.log r ~thread kind
+  | None -> ()
+
+let txn_begin t ~thread =
+  log t ~thread (Action.Request Action.Txbegin);
+  Mutex.lock t.mutex;
+  Atomic.set t.active.(thread) true;
+  log t ~thread (Action.Response Action.Okay);
+  { thread; undo = [] }
+
+let read t txn x =
+  log t ~thread:txn.thread (Action.Request (Action.Read x));
+  let v = Atomic.get t.reg.(x) in
+  log t ~thread:txn.thread (Action.Response (Action.Ret v));
+  v
+
+let write t txn x v =
+  log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
+  txn.undo <- (x, Atomic.get t.reg.(x)) :: txn.undo;
+  Atomic.set t.reg.(x) v;
+  log t ~thread:txn.thread (Action.Response Action.Ret_unit)
+
+let commit t txn =
+  log t ~thread:txn.thread (Action.Request Action.Txcommit);
+  log t ~thread:txn.thread (Action.Response Action.Committed);
+  Atomic.set t.active.(txn.thread) false;
+  Mutex.unlock t.mutex
+
+let abort t txn =
+  (* roll the in-place writes back, newest first *)
+  List.iter (fun (x, old) -> Atomic.set t.reg.(x) old) txn.undo;
+  log t ~thread:txn.thread (Action.Request Action.Txcommit);
+  log t ~thread:txn.thread (Action.Response Action.Aborted);
+  Atomic.set t.active.(txn.thread) false;
+  Mutex.unlock t.mutex
+
+let read_nt t ~thread x =
+  match t.recorder with
+  | None -> Atomic.get t.reg.(x)
+  | Some r ->
+      Recorder.critical r ~thread (fun push ->
+          let v = Atomic.get t.reg.(x) in
+          push (Action.Request (Action.Read x));
+          push (Action.Response (Action.Ret v));
+          v)
+
+let write_nt t ~thread x v =
+  match t.recorder with
+  | None -> Atomic.set t.reg.(x) v
+  | Some r ->
+      Recorder.critical r ~thread (fun push ->
+          Atomic.set t.reg.(x) v;
+          push (Action.Request (Action.Write (x, v)));
+          push (Action.Response Action.Ret_unit))
+
+let fence t ~thread =
+  log t ~thread (Action.Request Action.Fbegin);
+  let n = Array.length t.active in
+  let r = Array.make n false in
+  for u = 0 to n - 1 do
+    r.(u) <- Atomic.get t.active.(u)
+  done;
+  for u = 0 to n - 1 do
+    if r.(u) then
+      while Atomic.get t.active.(u) do
+        Domain.cpu_relax ()
+      done
+  done;
+  log t ~thread (Action.Response Action.Fend)

@@ -1,0 +1,11 @@
+(** A trivially serializing TM: one global mutex held for the whole
+    transaction, in-place writes with an undo log for explicit aborts.
+
+    Transactions never spuriously abort.  Because a transaction holds
+    the lock from begin to commit, a privatizing transaction cannot
+    commit while a doomed or committing transaction is still running —
+    this TM is privatization-safe with no fences, at the price of zero
+    concurrency.  Serves as the strong-atomicity performance baseline
+    in experiments E6 and E10. *)
+
+include Tm_runtime.Tm_intf.S

@@ -1,0 +1,29 @@
+(** TLRW [Dice, Shavit, SPAA'10]: encounter-time read/write byte locks
+    with in-place writes and an undo log.
+
+    Readers are {e visible}: a transaction holds read locks on
+    everything it has read until it completes.  This is the second
+    fence-free privatization-safe design cited in §8 [13]: a
+    privatizing transaction's write to the flag cannot commit while a
+    transaction that read the flag is still live (it would block on the
+    read lock), so neither the delayed-commit nor the
+    doomed-transaction problem can arise, at the cost of
+    reader-visibility traffic.
+
+    Lock acquisition spins for a bounded number of iterations and then
+    aborts the transaction, converting deadlock into abort-and-retry. *)
+
+include Tm_runtime.Tm_intf.S
+
+val create_with :
+  ?recorder:Tm_runtime.Recorder.t ->
+  ?spin_bound:int ->
+  nregs:int ->
+  nthreads:int ->
+  unit ->
+  t
+(** [spin_bound] (default 4096) bounds lock-acquisition spinning before
+    the transaction aborts. *)
+
+val stats_commits : t -> int
+val stats_aborts : t -> int

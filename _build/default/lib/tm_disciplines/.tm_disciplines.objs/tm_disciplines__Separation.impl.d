@@ -1,0 +1,1 @@
+lib/tm_disciplines/separation.ml: Action Array Format Hashtbl History Int List Set Tm_model Types

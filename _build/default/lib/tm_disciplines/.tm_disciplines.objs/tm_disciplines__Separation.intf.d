@@ -1,0 +1,1 @@
+lib/tm_disciplines/separation.mli: Format History Tm_model Types

@@ -1,0 +1,121 @@
+open Tm_model
+
+type violation = { v_index : int; v_reg : Types.reg; v_reason : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "index %d, %a: %s" v.v_index Types.pp_reg v.v_reg
+    v.v_reason
+
+let registers_of (h : History.t) =
+  let module S = Set.Make (Int) in
+  Array.fold_left
+    (fun acc a ->
+      match Action.accessed_reg a with Some x -> S.add x acc | None -> acc)
+    S.empty h
+  |> S.elements
+
+module Static = struct
+  let violations (h : History.t) =
+    let info = History.analyze h in
+    (* first transactional / non-transactional access index per reg *)
+    let first_txn = Hashtbl.create 8 and first_nt = Hashtbl.create 8 in
+    Array.iteri
+      (fun i (a : Action.t) ->
+        match Action.accessed_reg a with
+        | Some x when Action.is_access_request a ->
+            let table =
+              if info.History.txn_of.(i) >= 0 then first_txn else first_nt
+            in
+            if not (Hashtbl.mem table x) then Hashtbl.replace table x i
+        | _ -> ())
+      h;
+    List.filter_map
+      (fun x ->
+        match (Hashtbl.find_opt first_txn x, Hashtbl.find_opt first_nt x) with
+        | Some i, Some j ->
+            Some
+              {
+                v_index = max i j;
+                v_reg = x;
+                v_reason =
+                  "register accessed both transactionally and \
+                   non-transactionally";
+              }
+        | _, _ -> None)
+      (registers_of h)
+
+  let ok h = violations h = []
+end
+
+module Dynamic = struct
+  let violations ~mode_reg (h : History.t) =
+    let info = History.analyze h in
+    let regs = registers_of h in
+    (* mode registers control data registers: reverse map *)
+    let controlled_by = Hashtbl.create 8 in
+    List.iter
+      (fun x ->
+        match mode_reg x with
+        | Some m ->
+            Hashtbl.replace controlled_by m
+              (x
+              :: (match Hashtbl.find_opt controlled_by m with
+                 | Some l -> l
+                 | None -> []))
+        | None -> ())
+      regs;
+    let is_mode_reg m = Hashtbl.mem controlled_by m in
+    let unprotected = Hashtbl.create 8 in
+    (* mode writes inside transactions take effect at commit *)
+    let pending : (int, (Types.reg * bool) list) Hashtbl.t =
+      Hashtbl.create 4
+    in
+    let apply m positive =
+      List.iter
+        (fun x ->
+          if positive then Hashtbl.replace unprotected x ()
+          else Hashtbl.remove unprotected x)
+        (match Hashtbl.find_opt controlled_by m with Some l -> l | None -> [])
+    in
+    let violations = ref [] in
+    Array.iteri
+      (fun i (a : Action.t) ->
+        let txn = info.History.txn_of.(i) in
+        match a.Action.kind with
+        | Action.Request (Action.Write (m, v)) when is_mode_reg m ->
+            if txn = -1 then apply m (v > 0)
+            else
+              Hashtbl.replace pending txn
+                ((m, v > 0)
+                :: (match Hashtbl.find_opt pending txn with
+                   | Some l -> l
+                   | None -> []))
+        | Action.Request (Action.Read x) | Action.Request (Action.Write (x, _))
+          when not (is_mode_reg x) ->
+            let is_unprotected = Hashtbl.mem unprotected x in
+            if txn >= 0 && is_unprotected then
+              violations :=
+                { v_index = i; v_reg = x;
+                  v_reason = "transactional access to an unprotected register"
+                }
+                :: !violations
+            else if txn = -1 && not is_unprotected then
+              violations :=
+                { v_index = i; v_reg = x;
+                  v_reason =
+                    "non-transactional access to a protected register" }
+                :: !violations
+        | Action.Response Action.Committed when txn >= 0 -> (
+            match Hashtbl.find_opt pending txn with
+            | Some changes ->
+                List.iter (fun (m, pos) -> apply m pos) (List.rev changes);
+                Hashtbl.remove pending txn
+            | None -> ())
+        | Action.Response Action.Aborted when txn >= 0 ->
+            Hashtbl.remove pending txn
+        | _ -> ())
+      h;
+    List.rev !violations
+
+  let ok ~mode_reg h = violations ~mode_reg h = []
+end

@@ -1,0 +1,1 @@
+lib/tm_lang/ast.ml: Format List Tm_model Types

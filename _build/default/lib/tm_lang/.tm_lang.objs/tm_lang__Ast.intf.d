@@ -1,0 +1,1 @@
+lib/tm_lang/ast.mli: Format Tm_model Types

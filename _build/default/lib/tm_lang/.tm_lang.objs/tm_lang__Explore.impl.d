@@ -1,0 +1,1 @@
+lib/tm_lang/explore.ml: Action Array Ast Format Hashtbl History Int List Map Race Relations Tm_atomic Tm_model Tm_relations Types

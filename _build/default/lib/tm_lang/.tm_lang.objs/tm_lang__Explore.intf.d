@@ -1,0 +1,1 @@
+lib/tm_lang/explore.mli: Ast History Race Tm_model Tm_relations Types

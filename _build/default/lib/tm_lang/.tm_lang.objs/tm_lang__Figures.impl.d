@@ -1,0 +1,1 @@
+lib/tm_lang/figures.ml: Array Ast List Tm_model Types

@@ -1,0 +1,1 @@
+lib/tm_lang/figures.mli: Ast Tm_model Types

@@ -1,0 +1,122 @@
+open Tm_model
+
+type expr =
+  | Int of int
+  | Var of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Eq of expr * expr
+  | Ne of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type com =
+  | Skip
+  | Assign of string * expr
+  | Seq of com * com
+  | If of expr * com * com
+  | While of expr * com
+  | Atomic of string * com
+  | Read of string * Types.reg
+  | Write of Types.reg * expr
+  | Fence
+
+type program = com array
+
+(* Large sentinels keep the distinguished atomic-block results apart
+   from ordinary data values used by programs. *)
+let committed : Types.value = 1_000_000_001
+let aborted : Types.value = 1_000_000_002
+
+type env = (string * Types.value) list
+
+let lookup env l = match List.assoc_opt l env with Some v -> v | None -> 0
+let bind env l v = (l, v) :: List.remove_assoc l env
+let truthy v = v <> 0
+let of_bool b = if b then 1 else 0
+
+let rec eval env = function
+  | Int n -> n
+  | Var l -> lookup env l
+  | Add (a, b) -> eval env a + eval env b
+  | Sub (a, b) -> eval env a - eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Eq (a, b) -> of_bool (eval env a = eval env b)
+  | Ne (a, b) -> of_bool (eval env a <> eval env b)
+  | Lt (a, b) -> of_bool (eval env a < eval env b)
+  | Le (a, b) -> of_bool (eval env a <= eval env b)
+  | And (a, b) -> of_bool (truthy (eval env a) && truthy (eval env b))
+  | Or (a, b) -> of_bool (truthy (eval env a) || truthy (eval env b))
+  | Not a -> of_bool (not (truthy (eval env a)))
+
+let seq coms = match List.rev coms with
+  | [] -> Skip
+  | last :: rev -> List.fold_left (fun acc c -> Seq (c, acc)) last rev
+
+let rec pp_expr ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Var l -> Format.fprintf ppf "%s" l
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_expr a pp_expr b
+  | Eq (a, b) -> Format.fprintf ppf "(%a == %a)" pp_expr a pp_expr b
+  | Ne (a, b) -> Format.fprintf ppf "(%a != %a)" pp_expr a pp_expr b
+  | Lt (a, b) -> Format.fprintf ppf "(%a < %a)" pp_expr a pp_expr b
+  | Le (a, b) -> Format.fprintf ppf "(%a <= %a)" pp_expr a pp_expr b
+  | And (a, b) -> Format.fprintf ppf "(%a && %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_expr a pp_expr b
+  | Not a -> Format.fprintf ppf "!%a" pp_expr a
+
+let rec pp_com ppf = function
+  | Skip -> Format.fprintf ppf "skip"
+  | Assign (l, e) -> Format.fprintf ppf "%s := %a" l pp_expr e
+  | Seq (a, b) -> Format.fprintf ppf "%a;@ %a" pp_com a pp_com b
+  | If (b, c1, c2) ->
+      Format.fprintf ppf "if (%a) then {@[<hov 2> %a @]} else {@[<hov 2> %a @]}"
+        pp_expr b pp_com c1 pp_com c2
+  | While (b, c) ->
+      Format.fprintf ppf "while (%a) do {@[<hov 2> %a @]}" pp_expr b pp_com c
+  | Atomic (l, c) ->
+      Format.fprintf ppf "%s := atomic {@[<hov 2> %a @]}" l pp_com c
+  | Read (l, x) -> Format.fprintf ppf "%s := %a.read()" l Types.pp_reg x
+  | Write (x, e) -> Format.fprintf ppf "%a.write(%a)" Types.pp_reg x pp_expr e
+  | Fence -> Format.fprintf ppf "fence"
+
+let rec expr_locals = function
+  | Int _ -> []
+  | Var l -> [ l ]
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b) | Ne (a, b)
+  | Lt (a, b) | Le (a, b) | And (a, b) | Or (a, b) ->
+      expr_locals a @ expr_locals b
+  | Not a -> expr_locals a
+
+let free_locals c =
+  let rec go = function
+    | Skip | Fence -> []
+    | Assign (l, e) -> l :: expr_locals e
+    | Seq (a, b) -> go a @ go b
+    | If (b, c1, c2) -> expr_locals b @ go c1 @ go c2
+    | While (b, body) -> expr_locals b @ go body
+    | Atomic (l, body) -> l :: go body
+    | Read (l, _) -> [ l ]
+    | Write (_, e) -> expr_locals e
+  in
+  List.sort_uniq compare (go c)
+
+let rec uses_fence = function
+  | Fence -> true
+  | Skip | Assign _ | Read _ | Write _ -> false
+  | Seq (a, b) -> uses_fence a || uses_fence b
+  | If (_, a, b) -> uses_fence a || uses_fence b
+  | While (_, body) -> uses_fence body
+  | Atomic (_, body) -> uses_fence body
+
+let rec atomic_blocks = function
+  | Atomic (_, body) -> body :: atomic_blocks body
+  | Seq (a, b) | If (_, a, b) -> atomic_blocks a @ atomic_blocks b
+  | While (_, body) -> atomic_blocks body
+  | Skip | Assign _ | Read _ | Write _ | Fence -> []

@@ -1,0 +1,69 @@
+(** Syntax of the paper's programming language (§2.1).
+
+    {v
+    C ::= c | C ; C | if (b) then C else C | while (b) do C
+        | l := atomic {C} | l := x.read() | x.write(e) | fence
+    v}
+
+    Expressions range over a thread's local variables and constants.
+    Booleans are encoded as integers ([0] false, anything else true),
+    with comparison operators returning [0]/[1].  The distinguished
+    values [committed] and [aborted] are assigned to the result
+    variable of an atomic block. *)
+
+open Tm_model
+
+type expr =
+  | Int of int
+  | Var of string  (** a local variable of the executing thread *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Eq of expr * expr
+  | Ne of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type com =
+  | Skip
+  | Assign of string * expr  (** primitive command [l := e] *)
+  | Seq of com * com
+  | If of expr * com * com
+  | While of expr * com
+  | Atomic of string * com  (** [l := atomic {C}] *)
+  | Read of string * Types.reg  (** [l := x.read()] *)
+  | Write of Types.reg * expr  (** [x.write(e)] *)
+  | Fence
+
+type program = com array
+(** One command per thread: [P = C1 ∥ ... ∥ CN]. *)
+
+val committed : Types.value
+(** The distinguished value assigned when an atomic block commits. *)
+
+val aborted : Types.value
+(** The distinguished value assigned when an atomic block aborts. *)
+
+type env = (string * Types.value) list
+(** A thread-local variable environment; missing variables read 0. *)
+
+val lookup : env -> string -> Types.value
+val bind : env -> string -> Types.value -> env
+val eval : env -> expr -> Types.value
+val truthy : Types.value -> bool
+
+val seq : com list -> com
+(** Right-nested sequencing of a command list. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_com : Format.formatter -> com -> unit
+
+val free_locals : com -> string list
+(** Local variables mentioned by a command, without duplicates. *)
+
+val uses_fence : com -> bool
+val atomic_blocks : com -> com list
+(** The bodies of all atomic blocks in a command. *)

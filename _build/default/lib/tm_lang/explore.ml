@@ -1,0 +1,358 @@
+open Tm_model
+open Tm_relations
+
+module RegMap = Map.Make (Int)
+
+type outcome = {
+  history : History.t;
+  envs : Ast.env array;
+  regs : (Types.reg * Types.value) list;
+  diverged : bool;
+}
+
+(* Register store: program value (used by expressions) paired with the
+   unique history value recorded in actions, keeping histories
+   compliant with the unique-writes assumption even when the program
+   writes the same integer twice. *)
+type store = (Types.value * Types.value) RegMap.t
+
+let store_get store x =
+  match RegMap.find_opt x store with
+  | Some pair -> pair
+  | None -> (Types.v_init, Types.v_init)
+
+type thread_state = {
+  cont : Ast.com list;
+  env : Ast.env;
+  fuel : int;
+  stuck : bool;  (** fuel exhausted (divergence) *)
+}
+
+type state = {
+  threads : thread_state array;
+  store : store;
+  rev_hist : Action.t list;  (** history so far, reversed *)
+  next_id : int;
+  next_hval : int;  (** unique history-value counter *)
+}
+
+let push_action st thread kind =
+  {
+    st with
+    rev_hist =
+      { Action.id = st.next_id; Action.thread; Action.kind } :: st.rev_hist;
+    next_id = st.next_id + 1;
+  }
+
+let push_request st t r = push_action st t (Action.Request r)
+let push_response st t r = push_action st t (Action.Response r)
+
+let with_thread st t f =
+  let threads = Array.copy st.threads in
+  threads.(t) <- f threads.(t);
+  { st with threads }
+
+(* One recorded transactional access: request kind, response kind, and
+   the environment/overlay state reached after it. *)
+type txn_step = {
+  s_request : Action.request;
+  s_response : Action.response;
+  s_env : Ast.env;
+  s_overlay : store;
+}
+
+(* Deterministically execute an atomic block's body over an overlay of
+   the store, recording the TM accesses in order.  Returns the steps,
+   the final environment/overlay and whether the body ran to completion
+   within [fuel] steps. *)
+let exec_txn_body ~fuel env store next_hval body =
+  let steps = ref [] in
+  let hval = ref next_hval in
+  let budget = ref fuel in
+  let exception Out_of_fuel in
+  let rec go env overlay cont =
+    match cont with
+    | [] -> (env, overlay, true)
+    | com :: rest -> (
+        if !budget <= 0 then raise Out_of_fuel;
+        decr budget;
+        match com with
+        | Ast.Skip -> go env overlay rest
+        | Ast.Assign (l, e) ->
+            go (Ast.bind env l (Ast.eval env e)) overlay rest
+        | Ast.Seq (a, b) -> go env overlay (a :: b :: rest)
+        | Ast.If (b, c1, c2) ->
+            go env overlay
+              ((if Ast.truthy (Ast.eval env b) then c1 else c2) :: rest)
+        | Ast.While (b, c) ->
+            if Ast.truthy (Ast.eval env b) then
+              go env overlay (c :: Ast.While (b, c) :: rest)
+            else go env overlay rest
+        | Ast.Read (l, x) ->
+            let pv, hv =
+              match RegMap.find_opt x overlay with
+              | Some pair -> pair
+              | None -> store_get store x
+            in
+            let env = Ast.bind env l pv in
+            steps :=
+              { s_request = Action.Read x; s_response = Action.Ret hv;
+                s_env = env; s_overlay = overlay }
+              :: !steps;
+            go env overlay rest
+        | Ast.Write (x, e) ->
+            let pv = Ast.eval env e in
+            let hv = !hval in
+            incr hval;
+            let overlay = RegMap.add x (pv, hv) overlay in
+            steps :=
+              { s_request = Action.Write (x, hv); s_response = Action.Ret_unit;
+                s_env = env; s_overlay = overlay }
+              :: !steps;
+            go env overlay rest
+        | Ast.Atomic _ ->
+            invalid_arg "nested atomic blocks are not allowed (§2.1)"
+        | Ast.Fence ->
+            invalid_arg "fence may not occur inside a transaction (§2.1)")
+  in
+  match go env RegMap.empty [ body ] with
+  | env', overlay, completed ->
+      (List.rev !steps, env', overlay, !hval, completed)
+  | exception Out_of_fuel -> (List.rev !steps, env, RegMap.empty, !hval, false)
+
+(* Successor states of executing one unit of thread [t]. *)
+let step_thread (st : state) t : state list =
+  let ts = st.threads.(t) in
+  match ts.cont with
+  | [] -> []
+  | com :: rest -> (
+      if ts.fuel <= 0 then
+        [ with_thread st t (fun ts -> { ts with cont = []; stuck = true }) ]
+      else
+        let consume ts = { ts with fuel = ts.fuel - 1 } in
+        match com with
+        | Ast.Skip ->
+            [ with_thread st t (fun ts -> consume { ts with cont = rest }) ]
+        | Ast.Assign (l, e) ->
+            [
+              with_thread st t (fun ts ->
+                  consume
+                    { ts with cont = rest;
+                      env = Ast.bind ts.env l (Ast.eval ts.env e) });
+            ]
+        | Ast.Seq (a, b) ->
+            [
+              with_thread st t (fun ts ->
+                  { ts with cont = a :: b :: rest });
+            ]
+        | Ast.If (b, c1, c2) ->
+            let chosen = if Ast.truthy (Ast.eval ts.env b) then c1 else c2 in
+            [
+              with_thread st t (fun ts ->
+                  consume { ts with cont = chosen :: rest });
+            ]
+        | Ast.While (b, c) ->
+            if Ast.truthy (Ast.eval ts.env b) then
+              [
+                with_thread st t (fun ts ->
+                    consume { ts with cont = c :: com :: rest });
+              ]
+            else
+              [ with_thread st t (fun ts -> consume { ts with cont = rest }) ]
+        | Ast.Read (l, x) ->
+            let pv, hv = store_get st.store x in
+            let st = push_request st t (Action.Read x) in
+            let st = push_response st t (Action.Ret hv) in
+            [
+              with_thread st t (fun ts ->
+                  consume { ts with cont = rest; env = Ast.bind ts.env l pv });
+            ]
+        | Ast.Write (x, e) ->
+            let pv = Ast.eval ts.env e in
+            let hv = st.next_hval in
+            let st = { st with next_hval = hv + 1 } in
+            let st = push_request st t (Action.Write (x, hv)) in
+            let st = push_response st t Action.Ret_unit in
+            let st = { st with store = RegMap.add x (pv, hv) st.store } in
+            [ with_thread st t (fun ts -> consume { ts with cont = rest }) ]
+        | Ast.Fence ->
+            (* Under the atomic executor transactions complete within a
+               unit, so a fence never has to wait. *)
+            let st = push_request st t Action.Fbegin in
+            let st = push_response st t Action.Fend in
+            [ with_thread st t (fun ts -> consume { ts with cont = rest }) ]
+        | Ast.Atomic (l, body) ->
+            let steps, env', overlay, next_hval, completed =
+              exec_txn_body ~fuel:ts.fuel ts.env st.store st.next_hval body
+            in
+            (* Advance the unique-value counter in every branch: aborted
+               prefixes also record the burned write values. *)
+            let st = { st with next_hval } in
+            let base = push_request st t Action.Txbegin in
+            (* Outcome: immediate abort at txbegin. *)
+            let abort_at_begin =
+              let st = push_response base t Action.Aborted in
+              with_thread st t (fun ts ->
+                  consume
+                    { ts with cont = rest;
+                      env = Ast.bind ts.env l Ast.aborted })
+            in
+            let opened = push_response base t Action.Okay in
+            (* Replay the first [k] steps onto a state. *)
+            let replay st k =
+              let rec go st i = function
+                | [] -> st
+                | _ when i = k -> st
+                | s :: tl ->
+                    let st = push_request st t s.s_request in
+                    let st = push_response st t s.s_response in
+                    go st (i + 1) tl
+              in
+              go st 0 steps
+            in
+            let nsteps = List.length steps in
+            (* Outcomes: abort at access k (its response is [aborted]). *)
+            let abort_at_access k =
+              let st = replay opened k in
+              let s = List.nth steps k in
+              let st = push_request st t s.s_request in
+              let st = push_response st t Action.Aborted in
+              with_thread st t (fun ts ->
+                  consume
+                    { ts with cont = rest;
+                      env = Ast.bind ts.env l Ast.aborted })
+            in
+            if not completed then begin
+              (* The body diverged: the transaction stays live forever;
+                 record its prefix and mark the thread stuck. *)
+              let st = replay opened nsteps in
+              [
+                with_thread st t (fun ts ->
+                    { ts with cont = []; stuck = true });
+              ]
+            end
+            else begin
+              (* Outcome: abort at txcommit. *)
+              let abort_at_commit =
+                let st = replay opened nsteps in
+                let st = push_request st t Action.Txcommit in
+                let st = push_response st t Action.Aborted in
+                with_thread st t (fun ts ->
+                    consume
+                      { ts with cont = rest;
+                        env = Ast.bind ts.env l Ast.aborted })
+              in
+              (* Outcome: commit — flush the overlay. *)
+              let commit =
+                let st = replay opened nsteps in
+                let st = push_request st t Action.Txcommit in
+                let st = push_response st t Action.Committed in
+                let st =
+                  {
+                    st with
+                    store =
+                      RegMap.union (fun _ ov _ -> Some ov) overlay st.store;
+                  }
+                in
+                with_thread st t (fun ts ->
+                    consume
+                      { ts with cont = rest;
+                        env = Ast.bind env' l Ast.committed })
+              in
+              [ commit; abort_at_commit; abort_at_begin ]
+              @ List.init nsteps abort_at_access
+            end)
+
+let run ?(fuel = 64) ?(enumerate_aborts = true) ?(init = []) (p : Ast.program)
+    =
+  let nthreads = Array.length p in
+  let store =
+    (* Initial register values share the program/history value; callers
+       must pick distinct non-vinit values if they rely on wr precision
+       of initial state, which the paper's examples never do. *)
+    List.fold_left
+      (fun acc (x, v) -> RegMap.add x (v, v) acc)
+      RegMap.empty init
+  in
+  let initial =
+    {
+      threads =
+        Array.init nthreads (fun t ->
+            { cont = [ p.(t) ]; env = []; fuel; stuck = false });
+      store;
+      rev_hist = [];
+      next_id = 0;
+      next_hval = 1_000;
+    }
+  in
+  let outcomes = ref [] in
+  let seen = Hashtbl.create 256 in
+  let rec dfs st =
+    let successors = ref [] in
+    Array.iteri
+      (fun t _ ->
+        match step_thread st t with
+        | [] -> ()
+        | succs ->
+            let succs =
+              if enumerate_aborts then succs
+              else
+                (* keep only the first outcome of atomic blocks (commit)
+                   and all deterministic steps *)
+                [ List.hd succs ]
+            in
+            successors := !successors @ succs)
+      st.threads;
+    if !successors = [] then begin
+      let history = History.of_list (List.rev st.rev_hist) in
+      let envs = Array.map (fun ts -> ts.env) st.threads in
+      let diverged = Array.exists (fun ts -> ts.stuck) st.threads in
+      let key =
+        ( Format.asprintf "%a" History.pp_compact history,
+          Array.to_list (Array.map (List.sort compare) envs),
+          diverged )
+      in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        let regs =
+          List.map (fun (x, (pv, _)) -> (x, pv)) (RegMap.bindings st.store)
+        in
+        outcomes := { history; envs; regs; diverged } :: !outcomes
+      end
+    end
+    else List.iter dfs !successors
+  in
+  dfs initial;
+  List.rev !outcomes
+
+let races ?fuel (p : Ast.program) =
+  let outcomes = run ?fuel p in
+  List.concat_map
+    (fun o ->
+      List.map
+        (fun race -> (o.history, race))
+        (Race.races (Relations.of_history o.history)))
+    outcomes
+
+let is_drf ?fuel p = races ?fuel p = []
+
+let postcondition_holds ?fuel ?enumerate_aborts pred p =
+  List.for_all
+    (fun o -> o.diverged || pred o.envs)
+    (run ?fuel ?enumerate_aborts p)
+
+let histories ?fuel p =
+  let outcomes = run ?fuel p in
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun o ->
+      let key = Format.asprintf "%a" History.pp_compact o.history in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        Some o.history
+      end)
+    outcomes
+
+let all_in_atomic ?fuel p =
+  List.for_all Tm_atomic.Atomic_tm.mem (histories ?fuel p)

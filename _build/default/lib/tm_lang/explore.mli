@@ -1,0 +1,52 @@
+(** Exhaustive strongly-atomic execution of programs: the set
+    [⟦P⟧(H_atomic, s)] of §2.3 instantiated with the atomic TM of
+    §2.4, enumerated by interleaving whole transactions (which do not
+    interleave under [H_atomic]) with non-transactional steps.
+
+    For every atomic block the explorer branches over all TM outcomes
+    permitted by the semantics of Figure 8: immediate abort at
+    [txbegin], abort at each read/write, abort at [txcommit], and
+    commit.  Loops are bounded by [fuel] steps per thread; executions
+    that exceed the bound are reported with [diverged = true].
+
+    The resulting histories are exactly what Definition 3.3 quantifies
+    over, so [is_drf] decides [DRF(P, s, H_atomic)] for programs whose
+    loops respect the fuel bound. *)
+
+open Tm_model
+open Tm_relations
+
+type outcome = {
+  history : History.t;
+  envs : Ast.env array;  (** final local environments, one per thread *)
+  regs : (Types.reg * Types.value) list;
+      (** final register contents (program values) *)
+  diverged : bool;  (** some thread exhausted its fuel *)
+}
+
+val run :
+  ?fuel:int -> ?enumerate_aborts:bool -> ?init:(Types.reg * Types.value) list ->
+  Ast.program -> outcome list
+(** All maximal strongly-atomic executions.  [fuel] (default 64) bounds
+    the number of execution units per thread; [enumerate_aborts]
+    (default [true]) controls whether spurious aborts are explored;
+    [init] gives initial register values (default all [vinit]). *)
+
+val races : ?fuel:int -> Ast.program -> (History.t * Race.race) list
+(** All data races occurring in any strongly-atomic execution. *)
+
+val is_drf : ?fuel:int -> Ast.program -> bool
+(** [DRF(P, s, H_atomic)] (Definition 3.3). *)
+
+val postcondition_holds :
+  ?fuel:int -> ?enumerate_aborts:bool -> (Ast.env array -> bool) ->
+  Ast.program -> bool
+(** Whether a predicate on final environments holds of every
+    non-diverged strongly-atomic execution. *)
+
+val histories : ?fuel:int -> Ast.program -> History.t list
+(** Histories of all outcomes, deduplicated. *)
+
+val all_in_atomic : ?fuel:int -> Ast.program -> bool
+(** Sanity: every produced history is a member of [H_atomic] — the
+    explorer is sound with respect to the declarative definition. *)

@@ -1,0 +1,294 @@
+open Tm_model
+open Ast
+
+let x : Types.reg = 0
+let flag : Types.reg = 1
+let y : Types.reg = 2
+
+(* Every write in the figure programs uses a distinct constant (x: 1
+   and 42, flag: 2, sync: 3, sync2: 4) so that runtime histories
+   recorded from these programs satisfy the unique-writes assumption of
+   §2.2 and can be fed to the checkers directly. *)
+
+(* Auxiliary registers used by the runtime handshake variants: [sync]
+   is written non-transactionally by the worker just before it enters
+   its transaction and polled non-transactionally by the privatizing
+   side, aligning the anomaly windows.  This is ordinary client-order
+   synchronization (§3) and does not change any DRF verdict: the
+   conflicting accesses stay unordered without the fence. *)
+let sync : Types.reg = 3
+let sync2 : Types.reg = 4
+
+let nregs = 5
+
+type figure = {
+  f_name : string;
+  f_program : Ast.program;
+  f_post : Ast.env array -> (Types.reg * Types.value) list -> bool;
+  f_drf : bool;
+  f_fuel : int;
+  f_no_divergence : bool;
+}
+
+let reg_value regs r =
+  match List.assoc_opt r regs with Some v -> v | None -> Types.v_init
+
+(* Non-transactional poll until a register becomes non-zero. *)
+let poll r =
+  seq [ Read ("_sync", r); While (Not (Var "_sync"), Read ("_sync", r)) ]
+
+(* ------------------------- Figure 1(a) ---------------------------- *)
+(* Thread 0 privatizes x by setting the flag, then accesses it
+   non-transactionally; thread 1 writes x transactionally unless the
+   flag is set. *)
+
+let fig1a ?(handshake = false) ~fenced () =
+  let privatizer =
+    seq
+      ((if handshake then [ poll sync ] else [])
+      @ [
+          Atomic ("l", Write (flag, Int 2));
+          If
+            ( Eq (Var "l", Int committed),
+              seq ((if fenced then [ Fence ] else []) @ [ Write (x, Int 1) ]),
+              Skip );
+        ])
+  in
+  let worker =
+    seq
+      ((if handshake then [ Write (sync, Int 3) ] else [])
+      @ [
+          Atomic
+            ( "l2",
+              seq
+                [
+                  Read ("f", flag);
+                  If (Not (Var "f"), Write (x, Int 42), Skip);
+                ] );
+        ])
+  in
+  {
+    f_name =
+      (if fenced then "fig1a (delayed commit, fenced)"
+       else "fig1a (delayed commit, no fence)");
+    f_program = [| privatizer; worker |];
+    f_post =
+      (fun envs regs ->
+        if Ast.lookup envs.(0) "l" = committed then reg_value regs x = 1
+        else true);
+    f_drf = fenced;
+    f_fuel = 32;
+    f_no_divergence = true;
+  }
+
+(* ------------------------- Figure 1(b) ---------------------------- *)
+(* The worker's transaction is doomed: under strong atomicity its while
+   loop always terminates because ν cannot run while it executes. *)
+
+(* A purely local busy loop: widens the window between two
+   transactional reads so the runtime anomaly windows are hit reliably;
+   semantically a no-op (it only touches a scratch local). *)
+let local_spin n =
+  if n = 0 then Skip
+  else
+    seq
+      [
+        Assign ("_spin", Int n);
+        While (Ne (Var "_spin", Int 0), Assign ("_spin", Sub (Var "_spin", Int 1)));
+      ]
+
+let fig1b ?(handshake = false) ?(spin = 0) ~fenced () =
+  let privatizer =
+    seq
+      ((if handshake then [ poll sync ] else [])
+      @ [
+          Atomic ("l", Write (flag, Int 2));
+          If
+            ( Eq (Var "l", Int committed),
+              seq ((if fenced then [ Fence ] else []) @ [ Write (x, Int 1) ]),
+              Skip );
+        ])
+  in
+  let worker =
+    seq
+      ((if handshake then [ Write (sync, Int 3) ] else [])
+      @ [
+          Atomic
+            ( "l2",
+              seq
+                [
+                  Read ("f", flag);
+                  If
+                    ( Not (Var "f"),
+                      seq
+                        [
+                          local_spin spin;
+                          Read ("t", x);
+                          While (Eq (Var "t", Int 1), Read ("t", x));
+                        ],
+                      Skip );
+                ] );
+        ])
+  in
+  {
+    f_name =
+      (if fenced then "fig1b (doomed transaction, fenced)"
+       else "fig1b (doomed transaction, no fence)");
+    f_program = [| privatizer; worker |];
+    f_post = (fun _ _ -> true);
+    f_drf = fenced;
+    f_fuel = 32;
+    f_no_divergence = true;
+  }
+
+(* --------------------------- Figure 2 ----------------------------- *)
+(* Publication.  The paper's x_is_private flag starts true; we encode
+   its negation x_is_public so all registers start at vinit. *)
+
+let fig2 =
+  let publisher =
+    seq [ Write (x, Int 42); Atomic ("l1", Write (flag, Int 2)) ]
+  in
+  let reader =
+    Atomic
+      ( "l2",
+        seq [ Read ("f", flag); If (Var "f", Read ("l", x), Skip) ] )
+  in
+  {
+    f_name = "fig2 (publication)";
+    f_program = [| publisher; reader |];
+    f_post =
+      (fun envs _ ->
+        if
+          Ast.lookup envs.(1) "l2" = committed
+          && Ast.lookup envs.(1) "l" <> 0
+        then Ast.lookup envs.(1) "l" = 42
+        else true);
+    f_drf = true;
+    f_fuel = 32;
+    f_no_divergence = true;
+  }
+
+(* --------------------------- Figure 3 ----------------------------- *)
+
+let fig3 =
+  let writer = Atomic ("l", seq [ Write (x, Int 1); Write (y, Int 2) ]) in
+  let reader = seq [ Read ("l1", x); Read ("l2", y) ] in
+  {
+    f_name = "fig3 (racy)";
+    f_program = [| writer; reader |];
+    f_post =
+      (fun envs regs ->
+        if reg_value regs x = Ast.lookup envs.(1) "l1" then
+          reg_value regs y = Ast.lookup envs.(1) "l2"
+        else true);
+    f_drf = false;
+    f_fuel = 32;
+    f_no_divergence = true;
+  }
+
+(* --------------------------- Figure 6 ----------------------------- *)
+(* Privatization by agreement outside transactions: the flag is passed
+   hand-over-hand by non-transactional accesses, so no fence is
+   needed. *)
+
+let fig6 =
+  let writer =
+    seq [ Atomic ("l1", Write (x, Int 42)); Write (flag, Int 2) ]
+  in
+  let reader =
+    seq
+      [
+        Read ("l2", flag);
+        While (Not (Var "l2"), Read ("l2", flag));
+        Read ("l3", x);
+      ]
+  in
+  {
+    f_name = "fig6 (agreement outside transactions)";
+    f_program = [| writer; reader |];
+    f_post =
+      (fun envs _ ->
+        if Ast.lookup envs.(0) "l1" = committed then
+          Ast.lookup envs.(1) "l3" = 42
+        else true);
+    f_drf = true;
+    f_fuel = 10;
+    f_no_divergence = false;
+    (* the spin loop may be preempted forever; only fairness-free
+       divergence, not a doomed transaction *)
+  }
+
+(* --------------- Read-only privatizer (GCC bug, E7) --------------- *)
+(* Thread 2 publishes the privatization decision; thread 0 learns it in
+   a read-only transaction and then accesses x non-transactionally.
+   A fence policy that skips read-only transactions (the GCC libitm
+   bug) leaves thread 0 unprotected. *)
+
+let fig1a_read_only_privatizer ?(handshake = false) ~fenced () =
+  let observer =
+    seq
+      ((if handshake then [ poll sync2 ] else [])
+      @ [
+          Atomic ("lr", Read ("f", flag));
+          If
+            ( And (Eq (Var "lr", Int committed), Ne (Var "f", Int 0)),
+              seq ((if fenced then [ Fence ] else []) @ [ Write (x, Int 1) ]),
+              Skip );
+        ])
+  in
+  let worker =
+    seq
+      ((if handshake then [ Write (sync, Int 3) ] else [])
+      @ [
+          Atomic
+            ( "l2",
+              seq
+                [
+                  Read ("fw", flag);
+                  If (Not (Var "fw"), Write (x, Int 42), Skip);
+                ] );
+        ])
+  in
+  let setter =
+    seq
+      ((if handshake then [ poll sync ] else [])
+      @ [ Atomic ("lw", Write (flag, Int 2)) ]
+      @ if handshake then [ Write (sync2, Int 4) ] else [])
+  in
+  {
+    f_name =
+      (if fenced then "fig1a-ro (read-only privatizer, fenced)"
+       else "fig1a-ro (read-only privatizer, no fence)");
+    f_program = [| observer; worker; setter |];
+    f_post =
+      (fun envs regs ->
+        if
+          Ast.lookup envs.(0) "lr" = committed
+          && Ast.lookup envs.(0) "f" <> 0
+        then reg_value regs x = 1
+        else true);
+    f_drf = fenced;
+    f_fuel = 32;
+    f_no_divergence = true;
+  }
+
+let all =
+  [
+    fig1a ~fenced:true ();
+    fig1b ~fenced:true ();
+    fig2;
+    fig3;
+    fig6;
+    fig1a_read_only_privatizer ~fenced:true ();
+  ]
+
+let with_pre_spins spins fig =
+  let program =
+    Array.mapi
+      (fun t com ->
+        let s = if t < Array.length spins then spins.(t) else 0 in
+        if s = 0 then com else Seq (local_spin s, com))
+      fig.f_program
+  in
+  { fig with f_program = program }

@@ -1,0 +1,86 @@
+(** The paper's example programs (Figures 1, 2, 3 and 6) as programs of
+    the language, together with their postconditions and expected DRF
+    verdicts under strong atomicity.
+
+    Register conventions: [x] is the privatized object, [flag] the
+    privatization/publication flag, [y] the second register of
+    Figure 3.  Flags are encoded so that every register starts at
+    [vinit = 0] (Figure 2's [x_is_private], initially true, becomes an
+    [x_is_public] flag initially false). *)
+
+open Tm_model
+
+val x : Types.reg
+val flag : Types.reg
+val y : Types.reg
+
+val sync : Types.reg
+val sync2 : Types.reg
+(** Auxiliary registers used by the [handshake] runtime variants: the
+    worker announces itself with a non-transactional write that the
+    privatizing side polls non-transactionally — client-order
+    synchronization (§3) that aligns the anomaly windows without
+    changing any DRF verdict. *)
+
+val nregs : int
+(** Number of registers any figure program may touch. *)
+
+(** A named experiment: the program, the postcondition over final local
+    environments and register values, and whether the paper deems the
+    program DRF under strong atomicity. *)
+type figure = {
+  f_name : string;
+  f_program : Ast.program;
+  f_post : Ast.env array -> (Types.reg * Types.value) list -> bool;
+  f_drf : bool;  (** expected DRF(P, s, H_atomic) verdict *)
+  f_fuel : int;  (** exploration fuel appropriate for the program *)
+  f_no_divergence : bool;
+      (** whether strong atomicity guarantees termination (Figure 1(b)'s
+          doomed loop) — checked against the explorer's diverged flag *)
+}
+
+val fig1a : ?handshake:bool -> fenced:bool -> unit -> figure
+(** Figure 1(a) — delayed commit.  Postcondition
+    [l = committed ⟹ x = 1].  DRF iff [fenced]. *)
+
+val fig1b : ?handshake:bool -> ?spin:int -> fenced:bool -> unit -> figure
+(** Figure 1(b) — doomed transaction.  The postcondition additionally
+    requires the doomed loop to terminate (no divergence); DRF iff
+    [fenced].  [spin] inserts a purely local busy loop between the
+    worker's flag read and its first read of [x], widening the window
+    in which a runtime TM can doom the transaction (used by the
+    experiment harness; keep 0 for model checking). *)
+
+val fig2 : figure
+(** Figure 2 — publication.  Postcondition
+    [l2 = committed ∧ l ≠ 0 ⟹ l = 42].  DRF. *)
+
+val fig3 : figure
+(** Figure 3 — racy program.  Postcondition [x = l1 ⟹ y = l2];
+    racy. *)
+
+val fig6 : figure
+(** Figure 6 — privatization by agreement outside transactions.
+    Postcondition [l1 = committed ⟹ l3 = 42].  DRF with no fence. *)
+
+val fig1a_read_only_privatizer : ?handshake:bool -> fenced:bool -> unit -> figure
+(** The GCC-bug variant (Zhou et al. [43], §1): the privatizing
+    transaction is read-only (it only {e reads} the flag; privatization
+    is decided by the value observed).  Omitting the fence after a
+    read-only transaction still breaks the postcondition — the bug
+    class behind E7. *)
+
+val all : figure list
+(** All figures with canonical fence placement (fenced privatization,
+    unfenced publication/agreement, racy Figure 3). *)
+
+val reg_value : (Types.reg * Types.value) list -> Types.reg -> Types.value
+(** Final value of a register ([vinit] when absent). *)
+
+val local_spin : int -> Ast.com
+(** A purely local busy loop (no TM interaction): used by the runtime
+    harness to align the threads' timing windows. *)
+
+val with_pre_spins : int array -> figure -> figure
+(** Prefix thread [t]'s command with [local_spin spins.(t)] — a
+    semantically neutral timing adjustment for runtime trials. *)

@@ -1,0 +1,1 @@
+lib/tm_model/action.pp.ml: Format Ppx_deriving_runtime Types

@@ -1,0 +1,1 @@
+lib/tm_model/builder.pp.mli: Action History Types

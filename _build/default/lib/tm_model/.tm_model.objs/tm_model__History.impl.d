@@ -1,0 +1,1 @@
+lib/tm_model/history.pp.ml: Action Array Format Hashtbl List Ppx_deriving_runtime Types

@@ -1,0 +1,1 @@
+lib/tm_model/history.pp.mli: Action Format Ppx_deriving_runtime Types

@@ -1,0 +1,1 @@
+lib/tm_model/text.pp.ml: Action Array Buffer History In_channel List Out_channel Printf Scanf String

@@ -1,0 +1,1 @@
+lib/tm_model/text.pp.mli: Action History Types

@@ -1,0 +1,1 @@
+lib/tm_model/types.pp.ml: Format Ppx_deriving_runtime

@@ -1,0 +1,69 @@
+open Types
+
+type request =
+  | Txbegin
+  | Txcommit
+  | Write of reg * value
+  | Read of reg
+  | Fbegin
+[@@deriving eq, ord, show]
+
+type response = Okay | Committed | Aborted | Ret_unit | Ret of value | Fend
+[@@deriving eq, ord, show]
+
+type kind = Request of request | Response of response
+[@@deriving eq, ord, show]
+
+type t = { id : action_id; thread : thread_id; kind : kind }
+[@@deriving eq, ord, show]
+
+let request id thread r = { id; thread; kind = Request r }
+let response id thread r = { id; thread; kind = Response r }
+
+let is_request a = match a.kind with Request _ -> true | Response _ -> false
+let is_response a = not (is_request a)
+
+let is_read_request a =
+  match a.kind with Request (Read _) -> true | _ -> false
+
+let is_write_request a =
+  match a.kind with Request (Write _) -> true | _ -> false
+
+let is_access_request a = is_read_request a || is_write_request a
+
+let accessed_reg a =
+  match a.kind with
+  | Request (Read x) | Request (Write (x, _)) -> Some x
+  | _ -> None
+
+let written_value a =
+  match a.kind with Request (Write (_, v)) -> Some v | _ -> None
+
+let is_completion a =
+  match a.kind with Response Committed | Response Aborted -> true | _ -> false
+
+let matches req resp =
+  match (req, resp) with
+  | Txbegin, (Okay | Aborted)
+  | Txcommit, (Committed | Aborted)
+  | Write _, (Ret_unit | Aborted)
+  | Read _, (Ret _ | Aborted)
+  | Fbegin, Fend ->
+      true
+  | _, _ -> false
+
+let pp_short ppf a =
+  let kind ppf = function
+    | Request Txbegin -> Format.fprintf ppf "txbegin"
+    | Request Txcommit -> Format.fprintf ppf "txcommit"
+    | Request (Write (x, v)) -> Format.fprintf ppf "write(%a,%d)" pp_reg x v
+    | Request (Read x) -> Format.fprintf ppf "read(%a)" pp_reg x
+    | Request Fbegin -> Format.fprintf ppf "fbegin"
+    | Response Okay -> Format.fprintf ppf "ok"
+    | Response Committed -> Format.fprintf ppf "committed"
+    | Response Aborted -> Format.fprintf ppf "aborted"
+    | Response Ret_unit -> Format.fprintf ppf "ret(_)"
+    | Response (Ret v) -> Format.fprintf ppf "ret(%d)" v
+    | Response Fend -> Format.fprintf ppf "fend"
+  in
+  Format.fprintf ppf "%a:%a" pp_thread a.thread kind a.kind

@@ -1,0 +1,69 @@
+(** TM interface actions (paper §2.2, Figure 4).
+
+    Actions describe a thread crossing the boundary between the program
+    and the TM: {e request} actions transfer control from the program to
+    the TM, {e response} actions hand it back.  Non-transactional
+    register accesses use the same request/response actions as
+    transactional ones — the TM semantics must account for the values
+    they write even though a real implementation leaves them
+    uninstrumented. *)
+
+open Types
+
+type request =
+  | Txbegin  (** entering an atomic block *)
+  | Txcommit  (** trying to commit upon exiting an atomic block *)
+  | Write of reg * value  (** invoking [x.write(v)] *)
+  | Read of reg  (** invoking [x.read()] *)
+  | Fbegin  (** beginning of a transactional fence *)
+[@@deriving eq, ord, show]
+
+type response =
+  | Okay  (** successful response to {!Txbegin} (the paper's [ok]) *)
+  | Committed  (** successful response to {!Txcommit} *)
+  | Aborted  (** the TM aborted the transaction *)
+  | Ret_unit  (** [ret(⊥)]: return from a write *)
+  | Ret of value  (** [ret(v)]: return from a read *)
+  | Fend  (** end of a transactional fence *)
+[@@deriving eq, ord, show]
+
+type kind = Request of request | Response of response
+[@@deriving eq, ord, show]
+
+type t = { id : action_id; thread : thread_id; kind : kind }
+[@@deriving eq, ord, show]
+(** An action [(a, t, k)]: identifier, executing thread, payload. *)
+
+val request : action_id -> thread_id -> request -> t
+val response : action_id -> thread_id -> response -> t
+
+val is_request : t -> bool
+val is_response : t -> bool
+
+val is_read_request : t -> bool
+(** [read(x)] request actions. *)
+
+val is_write_request : t -> bool
+(** [write(x,v)] request actions. *)
+
+val is_access_request : t -> bool
+(** Read or write request actions (the only ones that can conflict,
+    Def 3.1). *)
+
+val accessed_reg : t -> reg option
+(** The register accessed by a read/write request, if any. *)
+
+val written_value : t -> value option
+(** [Some v] for a [write(_, v)] request. *)
+
+val is_completion : t -> bool
+(** [committed] or [aborted] response actions — the actions that end a
+    transaction. *)
+
+val matches : request -> response -> bool
+(** Whether a response is a legal answer to a request, per Figure 4.
+    [aborted] answers every transactional request; [fend] only answers
+    [fbegin]. *)
+
+val pp_short : Format.formatter -> t -> unit
+(** Compact one-token rendering, e.g. [t1:read(x0)] or [t2:ret(5)]. *)

@@ -1,0 +1,52 @@
+open Types
+
+type t = {
+  mutable next_id : action_id;
+  mutable next_value : value;
+  mutable rev : Action.t list;
+}
+
+let create () = { next_id = 0; next_value = v_init + 1; rev = [] }
+
+let fresh_value b =
+  let v = b.next_value in
+  b.next_value <- v + 1;
+  v
+
+let fresh_id b =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  id
+
+let request b t r = b.rev <- Action.request (fresh_id b) t r :: b.rev
+let response b t r = b.rev <- Action.response (fresh_id b) t r :: b.rev
+
+let read b t x v =
+  request b t (Action.Read x);
+  response b t (Action.Ret v)
+
+let write b t x v =
+  request b t (Action.Write (x, v));
+  response b t Action.Ret_unit
+
+let txbegin b t =
+  request b t Action.Txbegin;
+  response b t Action.Okay
+
+let txbegin_aborted b t =
+  request b t Action.Txbegin;
+  response b t Action.Aborted
+
+let commit b t =
+  request b t Action.Txcommit;
+  response b t Action.Committed
+
+let abort_commit b t =
+  request b t Action.Txcommit;
+  response b t Action.Aborted
+
+let fence b t =
+  request b t Action.Fbegin;
+  response b t Action.Fend
+
+let history b = History.of_list (List.rev b.rev)

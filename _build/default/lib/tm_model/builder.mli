@@ -1,0 +1,42 @@
+(** Imperative history builder with automatic action identifiers.
+
+    Used by tests, the language enumerator and the runtime recorder to
+    assemble histories without hand-numbering actions. *)
+
+open Types
+
+type t
+
+val create : unit -> t
+
+val fresh_value : t -> value
+(** A value never produced before by this builder and distinct from
+    [v_init] — keeps histories compliant with the unique-writes
+    assumption of §2.2. *)
+
+val request : t -> thread_id -> Action.request -> unit
+val response : t -> thread_id -> Action.response -> unit
+
+val read : t -> thread_id -> reg -> value -> unit
+(** Append a matching [read(x)] / [ret(v)] pair. *)
+
+val write : t -> thread_id -> reg -> value -> unit
+(** Append a matching [write(x,v)] / [ret(⊥)] pair. *)
+
+val txbegin : t -> thread_id -> unit
+(** Append [txbegin] / [ok]. *)
+
+val txbegin_aborted : t -> thread_id -> unit
+(** Append [txbegin] / [aborted]. *)
+
+val commit : t -> thread_id -> unit
+(** Append [txcommit] / [committed]. *)
+
+val abort_commit : t -> thread_id -> unit
+(** Append [txcommit] / [aborted]. *)
+
+val fence : t -> thread_id -> unit
+(** Append [fbegin] / [fend]. *)
+
+val history : t -> History.t
+(** The history built so far (the builder can keep growing). *)

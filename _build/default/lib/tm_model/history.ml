@@ -1,0 +1,369 @@
+open Types
+
+type t = Action.t array
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let length = Array.length
+let get (h : t) i = h.(i)
+let append (h : t) a = Array.append h [| a |]
+
+let pp ppf (h : t) =
+  Array.iteri
+    (fun i a -> Format.fprintf ppf "%3d: %a@." i Action.pp_short a)
+    h
+
+let pp_compact ppf (h : t) =
+  Format.fprintf ppf "@[<hov 1>[";
+  Array.iteri
+    (fun i a ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      Action.pp_short ppf a)
+    h;
+  Format.fprintf ppf "]@]"
+
+type status = Live | Commit_pending | Committed | Aborted [@@deriving eq, show]
+
+type txn = { t_thread : thread_id; t_actions : int list; t_status : status }
+[@@deriving eq, show]
+
+type access = {
+  a_thread : thread_id;
+  a_request : int;
+  a_response : int option;
+}
+[@@deriving eq, show]
+
+type info = {
+  history : t;
+  response_of : int option array;
+  request_of : int option array;
+  txns : txn array;
+  txn_of : int array;
+  accesses : access array;
+  access_of : int array;
+}
+
+(* Per-thread scanning state used by [analyze]. *)
+type thread_state = {
+  mutable pending_request : int option;
+  mutable cur_txn : int list;  (** reversed action indices; [] if none *)
+  mutable in_txn : bool;
+}
+
+let threads_of (h : t) =
+  Array.fold_left (fun acc a -> max acc (a.Action.thread + 1)) 0 h
+
+let analyze (h : t) : info =
+  let n = Array.length h in
+  let nthreads = threads_of h in
+  let response_of = Array.make n None in
+  let request_of = Array.make n None in
+  let txn_of = Array.make n (-1) in
+  let access_of = Array.make n (-1) in
+  let states =
+    Array.init nthreads (fun _ ->
+        { pending_request = None; cur_txn = []; in_txn = false })
+  in
+  let txns = ref [] (* (first index, txn) in reverse discovery order *) in
+  let accesses = ref [] in
+  let close_txn st status =
+    (match List.rev st.cur_txn with
+    | [] -> ()
+    | first :: _ as actions ->
+        let txn =
+          { t_thread = h.(first).Action.thread; t_actions = actions;
+            t_status = status }
+        in
+        txns := (first, txn) :: !txns);
+    st.cur_txn <- [];
+    st.in_txn <- false
+  in
+  for i = 0 to n - 1 do
+    let a = h.(i) in
+    let st = states.(a.Action.thread) in
+    match a.Action.kind with
+    | Action.Request r -> (
+        st.pending_request <- Some i;
+        match r with
+        | Action.Txbegin ->
+            st.in_txn <- true;
+            st.cur_txn <- [ i ]
+        | Action.Txcommit | Action.Write _ | Action.Read _ ->
+            if st.in_txn then st.cur_txn <- i :: st.cur_txn
+        | Action.Fbegin -> ())
+    | Action.Response resp -> (
+        (match st.pending_request with
+        | Some j ->
+            response_of.(j) <- Some i;
+            request_of.(i) <- Some j;
+            st.pending_request <- None;
+            if (not st.in_txn) && Action.is_access_request h.(j) then
+              accesses :=
+                { a_thread = a.Action.thread; a_request = j;
+                  a_response = Some i }
+                :: !accesses
+        | None -> ());
+        if st.in_txn then begin
+          st.cur_txn <- i :: st.cur_txn;
+          match resp with
+          | Action.Committed -> close_txn st Committed
+          | Action.Aborted -> close_txn st Aborted
+          | Action.Okay | Action.Ret_unit | Action.Ret _ | Action.Fend -> ()
+        end)
+  done;
+  (* Unanswered non-transactional requests still form (partial)
+     accesses so that prefixes of histories analyze cleanly. *)
+  Array.iter
+    (fun st ->
+      match st.pending_request with
+      | Some j when (not st.in_txn) && Action.is_access_request h.(j) ->
+          accesses :=
+            { a_thread = h.(j).Action.thread; a_request = j;
+              a_response = None }
+            :: !accesses
+      | _ -> ())
+    states;
+  (* Close still-open transactions as live or commit-pending. *)
+  Array.iter
+    (fun st ->
+      if st.in_txn then
+        let status =
+          match st.cur_txn with
+          | last :: _ when Action.equal_kind h.(last).Action.kind
+                             (Action.Request Action.Txcommit) ->
+              Commit_pending
+          | _ -> Live
+        in
+        close_txn st status)
+    states;
+  let txns =
+    !txns
+    |> List.sort (fun (i, _) (j, _) -> compare i j)
+    |> List.map snd |> Array.of_list
+  in
+  Array.iteri
+    (fun k txn -> List.iter (fun i -> txn_of.(i) <- k) txn.t_actions)
+    txns;
+  let accesses =
+    !accesses
+    |> List.sort (fun a b -> compare a.a_request b.a_request)
+    |> Array.of_list
+  in
+  Array.iteri
+    (fun k acc ->
+      access_of.(acc.a_request) <- k;
+      match acc.a_response with
+      | Some j -> access_of.(j) <- k
+      | None -> ())
+    accesses;
+  { history = h; response_of; request_of; txns; txn_of; accesses; access_of }
+
+let txn_completion info k =
+  let txn = info.txns.(k) in
+  match txn.t_status with
+  | Committed | Aborted ->
+      let rec last = function
+        | [ i ] -> Some i
+        | _ :: tl -> last tl
+        | [] -> None
+      in
+      last txn.t_actions
+  | Live | Commit_pending -> None
+
+let is_read_only_txn info k =
+  List.for_all
+    (fun i -> not (Action.is_write_request info.history.(i)))
+    info.txns.(k).t_actions
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness (Definition A.1, history-level conditions).         *)
+(* ------------------------------------------------------------------ *)
+
+let err fmt = Format.kasprintf (fun s -> s) fmt
+
+let check_unique_ids h errors =
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (a : Action.t) ->
+      match Hashtbl.find_opt seen a.id with
+      | Some j ->
+          errors := err "duplicate action id %d at indices %d and %d" a.id j i
+                    :: !errors
+      | None -> Hashtbl.add seen a.id i)
+    h
+
+let check_unique_writes h errors =
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (a : Action.t) ->
+      match Action.written_value a with
+      | Some v ->
+          if v = v_init then
+            errors := err "write of the initial value at index %d" i :: !errors;
+          (match Hashtbl.find_opt seen v with
+          | Some j ->
+              errors :=
+                err "value %d written twice, at indices %d and %d" v j i
+                :: !errors
+          | None -> Hashtbl.add seen v i)
+      | None -> ())
+    h
+
+(* Condition 5: per thread, alternating matching request/response. *)
+let check_alternation h errors =
+  let nthreads = threads_of h in
+  let pending = Array.make nthreads None in
+  Array.iteri
+    (fun i (a : Action.t) ->
+      match a.kind with
+      | Request r -> (
+          match pending.(a.thread) with
+          | Some (j, _) ->
+              errors :=
+                err "thread %d: request at %d while request at %d unanswered"
+                  a.thread i j
+                :: !errors
+          | None -> pending.(a.thread) <- Some (i, r))
+      | Response resp -> (
+          match pending.(a.thread) with
+          | Some (_, r) ->
+              if not (Action.matches r resp) then
+                errors :=
+                  err "thread %d: response at %d does not match its request"
+                    a.thread i
+                  :: !errors;
+              pending.(a.thread) <- None
+          | None ->
+              errors :=
+                err "thread %d: response at %d without a pending request"
+                  a.thread i
+                :: !errors))
+    h
+
+(* Condition 6: txbegin alternates with committed/aborted per thread. *)
+let check_txn_bracketing h errors =
+  let nthreads = threads_of h in
+  let in_txn = Array.make nthreads false in
+  Array.iteri
+    (fun i (a : Action.t) ->
+      match a.kind with
+      | Request Txbegin ->
+          if in_txn.(a.thread) then
+            errors :=
+              err "thread %d: nested txbegin at index %d" a.thread i :: !errors
+          else in_txn.(a.thread) <- true
+      | Response Committed | Response Aborted ->
+          if not in_txn.(a.thread) then
+            errors :=
+              err "thread %d: completion at index %d outside a transaction"
+                a.thread i
+              :: !errors
+          else in_txn.(a.thread) <- false
+      | _ -> ())
+    h
+
+(* Conditions 7-9: non-transactional accesses are atomic and never
+   abort; fences may not occur inside transactions. *)
+let check_nontxn_and_fences h errors =
+  let nthreads = threads_of h in
+  let in_txn = Array.make nthreads false in
+  let n = Array.length h in
+  for i = 0 to n - 1 do
+    let a = h.(i) in
+    (match a.Action.kind with
+    | Action.Request Action.Txbegin -> in_txn.(a.thread) <- true
+    | Action.Response Action.Committed | Action.Response Action.Aborted ->
+        if in_txn.(a.thread) then in_txn.(a.thread) <- false
+        else if
+          (* a non-transactional access answered by [aborted] *)
+          Action.equal_kind a.Action.kind (Action.Response Action.Aborted)
+        then
+          errors :=
+            err "non-transactional abort response at index %d" i :: !errors
+    | Action.Request Action.Fbegin ->
+        if in_txn.(a.thread) then
+          errors := err "fence inside a transaction at index %d" i :: !errors
+    | _ -> ());
+    if
+      Action.is_access_request a
+      && (not in_txn.(a.thread))
+      && not
+           (i + 1 < n
+           && h.(i + 1).Action.thread = a.Action.thread
+           && Action.is_response h.(i + 1))
+    then
+      errors :=
+        err "non-transactional access at index %d not immediately answered" i
+        :: !errors
+  done
+
+(* Condition 10: a fence waits for every transaction begun before its
+   fbegin to complete before its fend. *)
+let check_fence_blocking h errors =
+  let n = Array.length h in
+  (* For every thread, the list of (txbegin index, completion index
+     option) pairs, relying on bracketing (checked separately). *)
+  let nthreads = threads_of h in
+  let begins = Array.make nthreads [] in
+  let spans = ref [] in
+  Array.iteri
+    (fun i (a : Action.t) ->
+      match a.kind with
+      | Request Txbegin -> begins.(a.thread) <- i :: begins.(a.thread)
+      | Response Committed | Response Aborted -> (
+          match begins.(a.thread) with
+          | b :: rest ->
+              begins.(a.thread) <- rest;
+              spans := (b, Some i) :: !spans
+          | [] -> ())
+      | _ -> ())
+    h;
+  Array.iter
+    (fun open_begins ->
+      List.iter (fun b -> spans := (b, None) :: !spans) open_begins)
+    begins;
+  let spans = !spans in
+  for j = 0 to n - 1 do
+    match h.(j).Action.kind with
+    | Action.Request Action.Fbegin -> (
+        (* find the matching fend of this thread, if any *)
+        let rec find_fend k =
+          if k >= n then None
+          else if
+            h.(k).Action.thread = h.(j).Action.thread
+            && Action.equal_kind h.(k).Action.kind
+                 (Action.Response Action.Fend)
+          then Some k
+          else find_fend (k + 1)
+        in
+        match find_fend (j + 1) with
+        | None -> ()
+        | Some k ->
+            List.iter
+              (fun (b, completion) ->
+                if b < j then
+                  match completion with
+                  | Some c when c < k -> ()
+                  | _ ->
+                      errors :=
+                        err
+                          "fence at [%d,%d] does not wait for transaction \
+                           begun at %d"
+                          j k b
+                        :: !errors)
+              spans)
+    | _ -> ()
+  done
+
+let well_formedness_errors (h : t) =
+  let errors = ref [] in
+  check_unique_ids h errors;
+  check_unique_writes h errors;
+  check_alternation h errors;
+  check_txn_bracketing h errors;
+  check_nontxn_and_fences h errors;
+  check_fence_blocking h errors;
+  List.rev !errors
+
+let is_well_formed h = well_formedness_errors h = []

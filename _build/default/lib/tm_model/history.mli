@@ -1,0 +1,92 @@
+(** Histories: traces containing only TM interface actions (§2.2).
+
+    A history fully captures the interaction between a TM and a client
+    program.  This module provides construction, structural analysis
+    (request/response matching, transaction extraction, classification
+    of actions as transactional or not) and the well-formedness checks
+    of Definition 2.1 / A.1 that are expressible on histories. *)
+
+open Types
+
+type t = Action.t array
+(** A history is an immutable sequence of actions, indexed from 0.  The
+    index of an action doubles as its position in the execution order
+    [<_H] of §3. *)
+
+val of_list : Action.t list -> t
+val to_list : t -> Action.t list
+val length : t -> int
+val get : t -> int -> Action.t
+
+val append : t -> Action.t -> t
+(** Functional extension of a history with one action. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering, one action per line with indices. *)
+
+val pp_compact : Format.formatter -> t -> unit
+(** One-line rendering using {!Action.pp_short}. *)
+
+(** Transaction status, per §2.2: committed, aborted, commit-pending
+    (ends with an unanswered [txcommit]) or live. *)
+type status = Live | Commit_pending | Committed | Aborted
+[@@deriving eq, show]
+
+type txn = {
+  t_thread : thread_id;
+  t_actions : int list;  (** indices into the history, ascending *)
+  t_status : status;
+}
+[@@deriving eq, show]
+(** A transaction in a history: a maximal subsequence of actions of one
+    thread starting with [txbegin] whose only final action may be a
+    completion. *)
+
+type access = {
+  a_thread : thread_id;
+  a_request : int;  (** index of the request action *)
+  a_response : int option;  (** index of the matching response *)
+}
+[@@deriving eq, show]
+(** A non-transactional access: a matching request/response pair of a
+    read or a write occurring outside every transaction. *)
+
+(** Result of a full structural analysis of a history.  Computed in one
+    pass and shared by the relation and opacity layers. *)
+type info = {
+  history : t;
+  response_of : int option array;
+      (** [response_of.(i)] is the index of the response matching the
+          request at [i] (requests only). *)
+  request_of : int option array;  (** inverse of [response_of] *)
+  txns : txn array;  (** transactions in textual order of their begins *)
+  txn_of : int array;
+      (** [txn_of.(i)] is the transaction containing action [i], or
+          [-1] when action [i] is non-transactional. *)
+  accesses : access array;  (** non-transactional accesses, in order *)
+  access_of : int array;
+      (** [access_of.(i)] is the non-transactional access containing
+          action [i], or [-1]. *)
+}
+
+val analyze : t -> info
+(** Structural analysis.  Assumes per-thread request/response
+    alternation (check {!well_formedness_errors} first on untrusted
+    input). *)
+
+val txn_completion : info -> int -> int option
+(** [txn_completion info k] is the index of the [committed]/[aborted]
+    action ending transaction [k], if it has one. *)
+
+val is_read_only_txn : info -> int -> bool
+(** A transaction that contains no write requests. *)
+
+val well_formedness_errors : t -> string list
+(** All violations of the history-level conditions of Definition A.1:
+    unique action identifiers, unique written values, request/response
+    alternation and matching, [txbegin]/completion bracketing, atomic
+    and non-aborting non-transactional accesses, fences outside
+    transactions, and fences waiting for all active transactions. *)
+
+val is_well_formed : t -> bool
+(** [well_formedness_errors h = []]. *)

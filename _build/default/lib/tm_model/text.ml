@@ -1,0 +1,90 @@
+(* Text format for histories; see the interface for the grammar. *)
+
+let strip s = String.trim s
+
+let parse_kind s : Action.kind =
+  let fail () = failwith (Printf.sprintf "unrecognized action %S" s) in
+  if s = "txbegin" then Action.Request Action.Txbegin
+  else if s = "txcommit" then Action.Request Action.Txcommit
+  else if s = "fbegin" then Action.Request Action.Fbegin
+  else if s = "ok" then Action.Response Action.Okay
+  else if s = "committed" then Action.Response Action.Committed
+  else if s = "aborted" then Action.Response Action.Aborted
+  else if s = "fend" then Action.Response Action.Fend
+  else if s = "ret" then Action.Response Action.Ret_unit
+  else
+    try Scanf.sscanf s "ret(%d)" (fun v -> Action.Response (Action.Ret v))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+      try Scanf.sscanf s "read(x%d)" (fun x -> Action.Request (Action.Read x))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+        try
+          Scanf.sscanf s "write(x%d,%d)" (fun x v ->
+              Action.Request (Action.Write (x, v)))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> fail ()))
+
+let parse_line line =
+  let line = strip line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.index_opt line ' ' with
+    | None -> failwith (Printf.sprintf "missing thread prefix in %S" line)
+    | Some i ->
+        let thread_part = String.sub line 0 i in
+        let rest = strip (String.sub line i (String.length line - i)) in
+        let thread =
+          try Scanf.sscanf thread_part "t%d" (fun t -> t)
+          with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+            failwith (Printf.sprintf "bad thread name %S" thread_part)
+        in
+        if thread < 0 then failwith "negative thread id";
+        Some (thread, parse_kind rest)
+
+let of_string doc =
+  let actions = ref [] in
+  let next_id = ref 0 in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !error = None then
+        match parse_line line with
+        | None -> ()
+        | Some (thread, kind) ->
+            actions := { Action.id = !next_id; Action.thread; Action.kind } :: !actions;
+            incr next_id
+        | exception Failure msg ->
+            error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+    (String.split_on_char '\n' doc);
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok (History.of_list (List.rev !actions))
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | doc -> of_string doc
+  | exception Sys_error msg -> Error msg
+
+let kind_to_string : Action.kind -> string = function
+  | Action.Request Action.Txbegin -> "txbegin"
+  | Action.Request Action.Txcommit -> "txcommit"
+  | Action.Request Action.Fbegin -> "fbegin"
+  | Action.Request (Action.Read x) -> Printf.sprintf "read(x%d)" x
+  | Action.Request (Action.Write (x, v)) -> Printf.sprintf "write(x%d,%d)" x v
+  | Action.Response Action.Okay -> "ok"
+  | Action.Response Action.Committed -> "committed"
+  | Action.Response Action.Aborted -> "aborted"
+  | Action.Response Action.Fend -> "fend"
+  | Action.Response Action.Ret_unit -> "ret"
+  | Action.Response (Action.Ret v) -> Printf.sprintf "ret(%d)" v
+
+let to_string (h : History.t) =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun (a : Action.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "t%d %s\n" a.Action.thread (kind_to_string a.Action.kind)))
+    h;
+  Buffer.contents buf
+
+let to_file path h =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string h))

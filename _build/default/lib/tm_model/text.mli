@@ -1,0 +1,40 @@
+(** A plain-text format for histories, for the command-line tools and
+    for writing histories by hand.
+
+    One action per line, [tN] naming the thread; blank lines and [#]
+    comments are ignored.  Action identifiers are implicit (the line
+    order).  The forms are exactly the TM interface actions of
+    Figure 4:
+
+    {v
+    # thread 0 privatizes x1 and writes x0 non-transactionally
+    t0 txbegin
+    t0 ok
+    t0 write(x1,1)
+    t0 ret
+    t0 txcommit
+    t0 committed
+    t0 fbegin
+    t0 fend
+    t0 write(x0,7)
+    t0 ret
+    v}
+
+    [read(xN)] requests answer with [ret(V)]; [write(xN,V)] requests
+    with a bare [ret]; [txbegin] with [ok] or [aborted]; [txcommit]
+    with [committed] or [aborted]; [fbegin] with [fend]. *)
+
+
+
+val parse_line : string -> (Types.thread_id * Action.kind) option
+(** [None] for blank/comment lines; raises [Failure] on bad syntax. *)
+
+val of_string : string -> (History.t, string) result
+(** Parse a whole document; the error carries a line number. *)
+
+val of_file : string -> (History.t, string) result
+
+val to_string : History.t -> string
+(** Render a history in the same format ([of_string] round-trips). *)
+
+val to_file : string -> History.t -> unit

@@ -1,0 +1,8 @@
+type thread_id = int [@@deriving eq, ord, show]
+type reg = int [@@deriving eq, ord, show]
+type value = int [@@deriving eq, ord, show]
+type action_id = int [@@deriving eq, ord, show]
+
+let v_init : value = 0
+let pp_thread ppf t = Format.fprintf ppf "t%d" t
+let pp_reg ppf x = Format.fprintf ppf "x%d" x

@@ -1,0 +1,28 @@
+(** Basic identifier types shared by the whole development.
+
+    The paper (§2.1-§2.2) fixes a set of threads [ThreadID = {1..N}], a
+    set of shared registers [Reg], integer values, and a set of action
+    identifiers [ActionId].  We realize all of them as integers, with
+    pretty-printers that follow the paper's notation. *)
+
+type thread_id = int [@@deriving eq, ord, show]
+(** Thread identifiers [t ∈ ThreadID].  Threads are numbered from 0. *)
+
+type reg = int [@@deriving eq, ord, show]
+(** Shared register objects [x ∈ Reg]. *)
+
+type value = int [@@deriving eq, ord, show]
+(** Integer values stored in registers. *)
+
+type action_id = int [@@deriving eq, ord, show]
+(** Unique action identifiers [a ∈ ActionId]. *)
+
+val v_init : value
+(** The initial value [vinit] of every register (the paper fixes one
+    distinguished initial value; we use 0). *)
+
+val pp_thread : Format.formatter -> thread_id -> unit
+(** Prints [t3] style thread names. *)
+
+val pp_reg : Format.formatter -> reg -> unit
+(** Prints [x0], [x1], ... register names. *)

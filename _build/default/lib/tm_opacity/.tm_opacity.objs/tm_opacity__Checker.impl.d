@@ -1,0 +1,1 @@
+lib/tm_opacity/checker.ml: Array Atomic_tm Consistency Format Graph History List Printf Rel Relations Seq Spo_relation Tm_atomic Tm_model Tm_relations

@@ -1,0 +1,1 @@
+lib/tm_opacity/checker.mli: Consistency Format History Tm_model

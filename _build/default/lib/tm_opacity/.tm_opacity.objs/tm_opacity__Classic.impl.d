@@ -1,0 +1,1 @@
+lib/tm_opacity/classic.ml: Action Array Consistency Graph History List Rel Relations Tm_atomic Tm_model Tm_relations

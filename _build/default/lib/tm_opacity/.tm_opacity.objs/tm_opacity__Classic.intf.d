@@ -1,0 +1,1 @@
+lib/tm_opacity/classic.mli: History Tm_model

@@ -1,0 +1,1 @@
+lib/tm_opacity/consistency.ml: Action Array Format Hashtbl History List Relations Tm_model Tm_relations Types

@@ -1,0 +1,1 @@
+lib/tm_opacity/consistency.mli: Format History Relations Tm_model Tm_relations Types

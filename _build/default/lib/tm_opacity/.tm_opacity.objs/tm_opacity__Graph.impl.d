@@ -1,0 +1,1 @@
+lib/tm_opacity/graph.ml: Action Array Format Hashtbl History List Rel Relations Tm_model Tm_relations Types

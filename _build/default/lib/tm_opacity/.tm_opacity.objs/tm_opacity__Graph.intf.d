@@ -1,0 +1,1 @@
+lib/tm_opacity/graph.mli: Format History Rel Relations Tm_model Tm_relations Types

@@ -1,0 +1,1 @@
+lib/tm_opacity/monitor.ml: Action Array Format Hashtbl History List Queue Tm_model Tm_relations Types Vclock

@@ -1,0 +1,1 @@
+lib/tm_opacity/monitor.mli: Action Format History Tm_model

@@ -1,0 +1,1 @@
+lib/tm_opacity/obs_equiv.ml: Action Array History List Spo_relation Tm_model

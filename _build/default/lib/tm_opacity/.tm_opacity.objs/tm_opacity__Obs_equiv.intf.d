@@ -1,0 +1,1 @@
+lib/tm_opacity/obs_equiv.mli: History Tm_model

@@ -1,0 +1,1 @@
+lib/tm_opacity/spo_relation.ml: Action Array Hashtbl History Rel Relations Tm_model Tm_relations

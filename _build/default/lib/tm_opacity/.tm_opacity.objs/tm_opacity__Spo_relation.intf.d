@@ -1,0 +1,1 @@
+lib/tm_opacity/spo_relation.mli: History Relations Tm_model Tm_relations

@@ -1,0 +1,80 @@
+open Tm_model
+open Tm_relations
+
+let applicable (h : History.t) =
+  let info = History.analyze h in
+  Array.length info.History.accesses = 0
+  && Array.for_all
+       (fun (a : Action.t) ->
+         match a.Action.kind with
+         | Action.Request Action.Fbegin | Action.Response Action.Fend -> false
+         | _ -> true)
+       h
+  && Array.for_all
+       (fun (a : Action.t) ->
+         Action.is_request a || Action.is_response a)
+       h
+
+(* Acyclicity of RT ∪ WR ∪ WW ∪ RW over transactions for one
+   visibility choice, and the corresponding witness. *)
+let try_choice (rels : Relations.t) vis_pending =
+  match Graph.build ~vis_pending rels with
+  | Error _ -> None
+  | Ok g ->
+      let info = rels.Relations.info in
+      let ntxns = Array.length info.History.txns in
+      let r = Rel.create (Array.length g.Graph.nodes) in
+      let keep a b = a < ntxns && b < ntxns in
+      Rel.iter_pairs g.Graph.rt (fun a b -> if keep a b then Rel.add r a b);
+      Rel.iter_pairs g.Graph.deps (fun a b -> if keep a b then Rel.add r a b);
+      (* also preserve per-thread order between transactions (subsumed
+         by rt for completed ones, needed for live tails) *)
+      for a = 0 to ntxns - 1 do
+        for b = 0 to ntxns - 1 do
+          if
+            a <> b
+            && info.History.txns.(a).History.t_thread
+               = info.History.txns.(b).History.t_thread
+            && List.hd info.History.txns.(a).History.t_actions
+               < List.hd info.History.txns.(b).History.t_actions
+          then Rel.add r a b
+        done
+      done;
+      (match Rel.topological_sort r with
+      | None -> None
+      | Some order ->
+          let h = info.History.history in
+          let txn_order = List.filter (fun n -> n < ntxns) order in
+          let out = ref [] in
+          List.iter
+            (fun k ->
+              List.iter
+                (fun i -> out := History.get h i :: !out)
+                info.History.txns.(k).History.t_actions)
+            txn_order;
+          let s = History.of_list (List.rev !out) in
+          if Tm_atomic.Atomic_tm.mem s then Some s else None)
+
+let subsets l =
+  List.fold_left
+    (fun acc x -> acc @ List.map (fun s -> x :: s) acc)
+    [ [] ] l
+
+let witness (h : History.t) =
+  if not (applicable h) then
+    invalid_arg "Classic.witness: history has non-transactional actions";
+  let rels = Relations.of_history h in
+  if not (Consistency.check rels) then None
+  else
+    let info = rels.Relations.info in
+    let pending = Tm_atomic.Atomic_tm.commit_pending_txns info in
+    let rec try_all = function
+      | [] -> None
+      | choice :: rest -> (
+          match try_choice rels (fun k -> List.mem k choice) with
+          | Some s -> Some s
+          | None -> try_all rest)
+    in
+    try_all (subsets pending)
+
+let check h = witness h <> None

@@ -1,0 +1,31 @@
+(** Classic opacity in the style of Guerraoui and Kapałka [19, 20], for
+    histories {e without} non-transactional accesses — the baseline the
+    paper's strong opacity generalizes (§4).
+
+    Classic opacity asks for a witness serialization preserving
+    per-thread order {e and the real-time order} between transactions;
+    strong opacity replaces real-time order with happens-before (which
+    ignores it) and adds non-transactional accesses.  As the paper
+    notes, citing Filipović et al. [16], preserving real-time order is
+    unnecessary when threads have no unrecorded side channels — so
+    classic opacity is strictly stronger on transaction-only histories:
+    every classically opaque history is strongly opaque, but a history
+    where a later transaction must serialize {e before} an earlier,
+    real-time-ordered one is strongly opaque yet not classically
+    opaque.  Both facts are exercised in the test suite. *)
+
+open Tm_model
+
+val applicable : History.t -> bool
+(** No non-transactional accesses and no fences occur. *)
+
+val check : History.t -> bool
+(** Classic opacity via the graph characterization: consistency plus
+    acyclicity of [RT ∪ WR ∪ WW ∪ RW] over transactions, searching
+    visibility choices for commit-pending transactions.  Raises
+    [Invalid_argument] when {!applicable} is false. *)
+
+val witness : History.t -> History.t option
+(** A witness serialization preserving real-time order, when one
+    exists: the history's transactions reordered along a topological
+    sort of [RT ∪ WR ∪ WW ∪ RW].  Verified to be in [H_atomic]. *)

@@ -1,0 +1,140 @@
+open Tm_model
+open Tm_relations
+
+let reg_of_request (h : History.t) i = Action.accessed_reg (History.get h i)
+
+let is_local_read (info : History.info) i =
+  let h = info.History.history in
+  Action.is_read_request (History.get h i)
+  && info.History.txn_of.(i) >= 0
+  &&
+  match reg_of_request h i with
+  | None -> false
+  | Some x ->
+      List.exists
+        (fun j ->
+          j < i
+          && Action.is_write_request (History.get h j)
+          && reg_of_request h j = Some x)
+        info.History.txns.(info.History.txn_of.(i)).History.t_actions
+
+let is_local_write (info : History.info) i =
+  let h = info.History.history in
+  Action.is_write_request (History.get h i)
+  && info.History.txn_of.(i) >= 0
+  &&
+  match reg_of_request h i with
+  | None -> false
+  | Some x ->
+      List.exists
+        (fun j ->
+          j > i
+          && Action.is_write_request (History.get h j)
+          && reg_of_request h j = Some x)
+        info.History.txns.(info.History.txn_of.(i)).History.t_actions
+
+type read_error = {
+  c_request : int;
+  c_response : int;
+  c_expected : string;
+  c_got : Types.value;
+}
+
+let pp_read_error ppf e =
+  Format.fprintf ppf
+    "inconsistent read: request %d / response %d returned %d, expected %s"
+    e.c_request e.c_response e.c_got e.c_expected
+
+(* The most recent write to [x] in transaction [k] preceding index [i]. *)
+let last_own_write_before (info : History.info) k x i =
+  let h = info.History.history in
+  List.fold_left
+    (fun acc j ->
+      if
+        j < i
+        && Action.is_write_request (History.get h j)
+        && reg_of_request h j = Some x
+      then Some j
+      else acc)
+    None
+    info.History.txns.(k).History.t_actions
+
+let errors (rels : Relations.t) =
+  let info = rels.Relations.info in
+  let h = info.History.history in
+  let n = History.length h in
+  (* writer_of_value: written values are unique in well-formed input *)
+  let writer = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    match Action.written_value (History.get h i) with
+    | Some v -> Hashtbl.replace writer v i
+    | None -> ()
+  done;
+  let txn_status k =
+    if k = -1 then `Nontxn else `Txn info.History.txns.(k).History.t_status
+  in
+  let errs = ref [] in
+  for resp = 0 to n - 1 do
+    match
+      ((History.get h resp).Action.kind, info.History.request_of.(resp))
+    with
+    | Action.Response (Action.Ret v), Some req -> (
+        match (History.get h req).Action.kind with
+        | Action.Request (Action.Read x) ->
+            let k = info.History.txn_of.(req) in
+            if k >= 0 && is_local_read info req then begin
+              (* local read: latest own preceding write *)
+              match last_own_write_before info k x req with
+              | Some w -> (
+                  match Action.written_value (History.get h w) with
+                  | Some expected when expected <> v ->
+                      errs :=
+                        { c_request = req; c_response = resp;
+                          c_expected = string_of_int expected; c_got = v }
+                        :: !errs
+                  | _ -> ())
+              | None -> ()
+            end
+            else if v = Types.v_init then ()
+              (* reading the initial value is always permitted for
+                 non-local reads when no legal writer produced [v] *)
+            else begin
+              match Hashtbl.find_opt writer v with
+              | None ->
+                  errs :=
+                    { c_request = req; c_response = resp;
+                      c_expected = "a written value or vinit"; c_got = v }
+                    :: !errs
+              | Some w ->
+                  let wk = info.History.txn_of.(w) in
+                  let bad reason =
+                    errs :=
+                      { c_request = req; c_response = resp;
+                        c_expected = reason; c_got = v }
+                      :: !errs
+                  in
+                  if reg_of_request h w <> Some x then
+                    bad "a write to the same register"
+                  else if w > resp then bad "a preceding write"
+                  else if wk >= 0 && wk = k then
+                    bad "a write from a different transaction (non-local read)"
+                  else if is_local_write info w then
+                    bad "a non-local write"
+                  else begin
+                    match txn_status wk with
+                    | `Txn History.Aborted ->
+                        bad "a write not in an aborted transaction"
+                    | `Txn History.Live ->
+                        bad "a write not in a live transaction"
+                    | `Txn History.Committed | `Txn History.Commit_pending
+                    | `Nontxn ->
+                        ()
+                  end
+            end
+        | _ -> ())
+    | _ -> ()
+  done;
+  List.rev !errs
+
+let check rels = errors rels = []
+let check_history h = check (Relations.of_history h)

@@ -1,0 +1,34 @@
+(** Local actions and history consistency (Definitions 6.1 and 6.2).
+
+    Consistency is the first half of the graph characterization of
+    strong opacity (Theorem 6.5): every transaction reads either the
+    latest value it wrote itself, or a value written non-transactionally
+    or by a committed / commit-pending transaction. *)
+
+open Tm_model
+open Tm_relations
+
+val is_local_read : History.info -> int -> bool
+(** [is_local_read info i]: the request at index [i] is a transactional
+    [read(x)] preceded, in its own transaction, by a [write(x,_)]. *)
+
+val is_local_write : History.info -> int -> bool
+(** The request at index [i] is a transactional [write(x,_)] followed,
+    in its own transaction, by another [write(x,_)]. *)
+
+type read_error = {
+  c_request : int;  (** index of the offending read request *)
+  c_response : int;  (** index of its response *)
+  c_expected : string;  (** description of the legal value(s) *)
+  c_got : Types.value;
+}
+
+val pp_read_error : Format.formatter -> read_error -> unit
+
+val errors : Relations.t -> read_error list
+(** All inconsistent matched reads of the history. *)
+
+val check : Relations.t -> bool
+(** [cons(H)] (Definition 6.2): all matched reads are consistent. *)
+
+val check_history : History.t -> bool

@@ -1,0 +1,322 @@
+open Tm_model
+open Tm_relations
+
+type node = Txn of int | Access of int
+
+type t = {
+  rels : Relations.t;
+  nodes : node array;
+  node_of_action : int array;
+  vis : bool array;
+  hb : Rel.t;
+  rt : Rel.t;
+  wr : (Types.reg * Rel.t) list;
+  ww : (Types.reg * Rel.t) list;
+  rw : (Types.reg * Rel.t) list;
+  deps : Rel.t;
+}
+
+let info_of g = g.rels.Relations.info
+
+let node_actions g n =
+  let info = info_of g in
+  match g.nodes.(n) with
+  | Txn k -> info.History.txns.(k).History.t_actions
+  | Access a ->
+      let acc = info.History.accesses.(a) in
+      acc.History.a_request
+      :: (match acc.History.a_response with Some r -> [ r ] | None -> [])
+
+let node_writes_reg g n x =
+  let h = (info_of g).History.history in
+  List.exists
+    (fun i ->
+      Action.is_write_request (History.get h i)
+      && Action.accessed_reg (History.get h i) = Some x)
+    (node_actions g n)
+
+let node_reads_vinit g n x =
+  let info = info_of g in
+  let h = info.History.history in
+  List.exists
+    (fun i ->
+      match
+        ((History.get h i).Action.kind, info.History.request_of.(i))
+      with
+      | Action.Response (Action.Ret v), Some req when v = Types.v_init -> (
+          match (History.get h req).Action.kind with
+          | Action.Request (Action.Read y) -> y = x
+          | _ -> false)
+      | _ -> false)
+    (node_actions g n)
+
+let node_thread g n =
+  let info = info_of g in
+  match g.nodes.(n) with
+  | Txn k -> info.History.txns.(k).History.t_thread
+  | Access a -> info.History.accesses.(a).History.a_thread
+
+let default_vis_pending (rels : Relations.t) k =
+  (* Visible iff read from by an action outside the transaction. *)
+  let info = rels.Relations.info in
+  let txn_actions = info.History.txns.(k).History.t_actions in
+  List.exists
+    (fun i ->
+      List.exists
+        (fun (_, wr_x) ->
+          Rel.fold_pairs wr_x
+            (fun acc src dst ->
+              acc || (src = i && info.History.txn_of.(dst) <> k))
+            false)
+        rels.Relations.wr)
+    txn_actions
+
+let default_write_stamp (rels : Relations.t) = function
+  | Access a -> rels.Relations.info.History.accesses.(a).History.a_request
+  | Txn k -> (
+      let info = rels.Relations.info in
+      match History.txn_completion info k with
+      | Some c -> c
+      | None -> (
+          match List.rev info.History.txns.(k).History.t_actions with
+          | last :: _ -> last
+          | [] -> 0))
+
+let registers_of (rels : Relations.t) = List.map fst rels.Relations.wr
+
+let build ?vis_pending ?write_stamp ?(ww_orders = []) (rels : Relations.t) =
+  let info = rels.Relations.info in
+  let h = info.History.history in
+  let vis_pending =
+    match vis_pending with Some f -> f | None -> default_vis_pending rels
+  in
+  let ntxns = Array.length info.History.txns in
+  let naccs = Array.length info.History.accesses in
+  let nnodes = ntxns + naccs in
+  let nodes =
+    Array.init nnodes (fun n -> if n < ntxns then Txn n else Access (n - ntxns))
+  in
+  let n_actions = History.length h in
+  let node_of_action = Array.make n_actions (-1) in
+  for i = 0 to n_actions - 1 do
+    if info.History.txn_of.(i) >= 0 then
+      node_of_action.(i) <- info.History.txn_of.(i)
+    else if info.History.access_of.(i) >= 0 then
+      node_of_action.(i) <- ntxns + info.History.access_of.(i)
+  done;
+  let vis =
+    Array.init nnodes (fun n ->
+        match nodes.(n) with
+        | Access _ -> true
+        | Txn k -> (
+            match info.History.txns.(k).History.t_status with
+            | History.Committed -> true
+            | History.Aborted | History.Live -> false
+            | History.Commit_pending -> vis_pending k))
+  in
+  let g_stub =
+    {
+      rels;
+      nodes;
+      node_of_action;
+      vis;
+      hb = Rel.create nnodes;
+      rt = Rel.create nnodes;
+      wr = [];
+      ww = [];
+      rw = [];
+      deps = Rel.create nnodes;
+    }
+  in
+  let write_stamp =
+    match write_stamp with
+    | Some f -> f
+    | None -> fun node -> default_write_stamp rels node
+  in
+  (* Lift an action-level relation to nodes, dropping self edges and
+     actions outside every node (fence actions). *)
+  let lift rel =
+    let r = Rel.create nnodes in
+    Rel.iter_pairs rel (fun i j ->
+        let ni = node_of_action.(i) and nj = node_of_action.(j) in
+        if ni >= 0 && nj >= 0 && ni <> nj then Rel.add r ni nj);
+    r
+  in
+  let hb = lift rels.Relations.hb in
+  let rt = lift rels.Relations.rt in
+  let registers = registers_of rels in
+  let error = ref None in
+  let wr =
+    List.map
+      (fun x ->
+        let r = lift (List.assoc x rels.Relations.wr) in
+        Rel.iter_pairs r (fun src _ ->
+            if not vis.(src) then
+              error :=
+                Some
+                  (Format.asprintf
+                     "node %d is read from on %a but not visible" src
+                     Types.pp_reg x));
+        (x, r))
+      registers
+  in
+  let ww =
+    List.map
+      (fun x ->
+        let writers =
+          List.filter
+            (fun n -> vis.(n) && node_writes_reg g_stub n x)
+            (List.init nnodes (fun n -> n))
+        in
+        let sorted =
+          match List.assoc_opt x ww_orders with
+          | Some order ->
+              if
+                List.sort compare order = List.sort compare writers
+              then order
+              else begin
+                error :=
+                  Some
+                    (Format.asprintf
+                       "ww_orders for %a is not a permutation of the \
+                        visible writers"
+                       Types.pp_reg x);
+                writers
+              end
+          | None ->
+              List.sort
+                (fun a b ->
+                  compare (write_stamp nodes.(a)) (write_stamp nodes.(b)))
+                writers
+        in
+        let r = Rel.create nnodes in
+        let rec total = function
+          | [] -> ()
+          | n :: rest ->
+              List.iter (fun m -> Rel.add r n m) rest;
+              total rest
+        in
+        total sorted;
+        (x, r))
+      registers
+  in
+  let rw =
+    List.map
+      (fun x ->
+        let wr_x = List.assoc x wr and ww_x = List.assoc x ww in
+        let r = Rel.create nnodes in
+        (* (∃n''. n'' -WW-> n' ∧ n'' -WR-> n) ⟹ n -RW-> n' *)
+        Rel.iter_pairs wr_x (fun n'' n ->
+            Rel.iter_pairs ww_x (fun src n' ->
+                if src = n'' && n <> n' then Rel.add r n n'));
+        (* reads of vinit are overwritten by every visible writer *)
+        for n = 0 to nnodes - 1 do
+          if node_reads_vinit g_stub n x then
+            for n' = 0 to nnodes - 1 do
+              if n <> n' && vis.(n') && node_writes_reg g_stub n' x then
+                Rel.add r n n'
+            done
+        done;
+        (x, r))
+      registers
+  in
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      let deps = Rel.create nnodes in
+      List.iter (fun (_, r) -> Rel.union_into ~dst:deps r) wr;
+      List.iter (fun (_, r) -> Rel.union_into ~dst:deps r) ww;
+      List.iter (fun (_, r) -> Rel.union_into ~dst:deps r) rw;
+      Ok { g_stub with hb; rt; wr; ww; rw; deps }
+
+let visible_writers g x =
+  match List.assoc_opt x g.ww with
+  | None -> []
+  | Some ww_x ->
+      let nnodes = Array.length g.nodes in
+      let writers =
+        List.filter
+          (fun n -> g.vis.(n) && node_writes_reg g n x)
+          (List.init nnodes (fun n -> n))
+      in
+      (* sort by WW out-degree, descending: first writer dominates all *)
+      List.sort
+        (fun a b ->
+          compare
+            (List.length (Rel.successors ww_x b))
+            (List.length (Rel.successors ww_x a)))
+        writers
+
+let is_acyclic g = Rel.is_acyclic (Rel.union g.hb g.deps)
+
+let hb_deps_irreflexive g = Rel.is_irreflexive (Rel.compose g.hb g.deps)
+
+let txn_cycle_free g =
+  let ntxns = Array.length (info_of g).History.txns in
+  let r = Rel.create (Array.length g.nodes) in
+  let keep src dst = src < ntxns && dst < ntxns in
+  Rel.iter_pairs g.rt (fun i j -> if keep i j then Rel.add r i j);
+  Rel.iter_pairs g.deps (fun i j -> if keep i j then Rel.add r i j);
+  Rel.is_acyclic r
+
+let witness g =
+  let info = info_of g in
+  let h = info.History.history in
+  let nnodes = Array.length g.nodes in
+  let n_actions = History.length h in
+  (* Fenced graph (Definition B.5): graph nodes plus one node per fence
+     action, with happens-before edges adjoined. *)
+  let fence_actions = ref [] in
+  for i = n_actions - 1 downto 0 do
+    if g.node_of_action.(i) = -1 then fence_actions := i :: !fence_actions
+  done;
+  let fence_actions = Array.of_list !fence_actions in
+  let nfences = Array.length fence_actions in
+  let fence_node = Hashtbl.create 8 in
+  Array.iteri
+    (fun k i -> Hashtbl.replace fence_node i (nnodes + k))
+    fence_actions;
+  let ext_of_action i =
+    if g.node_of_action.(i) >= 0 then g.node_of_action.(i)
+    else Hashtbl.find fence_node i
+  in
+  let ext = Rel.create (nnodes + nfences) in
+  Rel.iter_pairs g.rels.Relations.hb (fun i j ->
+      let ni = ext_of_action i and nj = ext_of_action j in
+      if ni <> nj then Rel.add ext ni nj);
+  Rel.iter_pairs g.deps (fun i j -> Rel.add ext i j);
+  match Rel.topological_sort ext with
+  | None -> None
+  | Some order ->
+      let out = ref [] in
+      List.iter
+        (fun n ->
+          if n < nnodes then
+            List.iter
+              (fun i -> out := History.get h i :: !out)
+              (node_actions g n)
+          else
+            out := History.get h fence_actions.(n - nnodes) :: !out)
+        order;
+      Some (History.of_list (List.rev !out))
+
+let pp ppf g =
+  let info = info_of g in
+  Format.fprintf ppf "@[<v>opacity graph: %d nodes@,"
+    (Array.length g.nodes);
+  Array.iteri
+    (fun n node ->
+      let desc =
+        match node with
+        | Txn k ->
+            Format.asprintf "txn %d (%a, thread %d)" k History.pp_status
+              info.History.txns.(k).History.t_status
+              info.History.txns.(k).History.t_thread
+        | Access a ->
+            Format.asprintf "access %d (thread %d)" a
+              info.History.accesses.(a).History.a_thread
+      in
+      Format.fprintf ppf "  node %d: %s vis=%b@," n desc g.vis.(n))
+    g.nodes;
+  Format.fprintf ppf "  HB=%d RT=%d deps=%d@]" (Rel.cardinal g.hb)
+    (Rel.cardinal g.rt) (Rel.cardinal g.deps)

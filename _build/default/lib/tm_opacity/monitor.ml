@@ -1,0 +1,394 @@
+open Tm_model
+open Tm_relations
+
+(* Minimal growable array (Stdlib.Dynarray arrives only in OCaml 5.2). *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+  let length v = v.len
+  let get v i = v.data.(i)
+
+  let add_last v x =
+    if v.len = Array.length v.data then begin
+      let cap = max 8 (2 * Array.length v.data) in
+      let data = Array.make cap x in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let iteri f v =
+    for i = 0 to v.len - 1 do
+      f i v.data.(i)
+    done
+end
+
+type verdict = Ok | Inconsistent of string | Cyclic
+
+let pp_verdict ppf = function
+  | Ok -> Format.fprintf ppf "ok"
+  | Inconsistent msg -> Format.fprintf ppf "inconsistent: %s" msg
+  | Cyclic -> Format.fprintf ppf "cyclic"
+
+type node = {
+  n_thread : int;
+  n_first_stamp : int;  (** stamp of the node's first action *)
+  mutable n_vis : bool;
+  mutable n_completed : bool;  (** committed/aborted (txns) *)
+  mutable n_aborted : bool;
+  mutable n_txn : bool;
+  mutable n_commit_pending : bool;  (** its [txcommit] request was seen *)
+  mutable n_forced_visible : bool;
+      (** made visible by being read from before completing; legal only
+          if the transaction turns out committed or commit-pending *)
+  mutable n_last_write : (Types.reg * Types.value) list;
+      (** most recent write per register (only the last write to a
+          register is non-local, Def 6.1) *)
+}
+
+type t = {
+  threads : int;
+  vc : Vclock.t array;
+  vc_cl : Vclock.t;
+  vc_af : Vclock.t;
+  vc_bf : Vclock.t;
+  publish : (Types.value, Vclock.t) Hashtbl.t;  (** xpo;txwr snapshots *)
+  txn_snapshot : Vclock.t option array;
+  nodes : node Vec.t;
+  succ : (int, int list) Hashtbl.t;  (** adjacency: HB ∪ WR ∪ WW ∪ RW *)
+  mutable edges : int;
+  cur_txn_node : int array;  (** per thread: open txn node or -1 *)
+  pending_request : Action.request option array;
+  writer_of_value : (Types.value, int * Types.reg) Hashtbl.t;
+      (** value -> (node, register) of its (latest) writer *)
+  ww : (Types.reg, int list) Hashtbl.t;  (** visible writers, oldest first *)
+  readers : (int * Types.reg, int list) Hashtbl.t;
+      (** readers of (writer node, reg) — sources of future RW edges *)
+  vinit_readers : (Types.reg, int list) Hashtbl.t;
+  mutable state : verdict;
+  mutable dirty : bool;  (** edges added since the last acyclicity check *)
+}
+
+let create ~threads =
+  {
+    threads;
+    vc = Array.init threads (fun _ -> Vclock.create threads);
+    vc_cl = Vclock.create threads;
+    vc_af = Vclock.create threads;
+    vc_bf = Vclock.create threads;
+    publish = Hashtbl.create 32;
+    txn_snapshot = Array.make threads None;
+    nodes = Vec.create ();
+    succ = Hashtbl.create 64;
+    edges = 0;
+    cur_txn_node = Array.make threads (-1);
+    pending_request = Array.make threads None;
+    writer_of_value = Hashtbl.create 32;
+    ww = Hashtbl.create 8;
+    readers = Hashtbl.create 32;
+    vinit_readers = Hashtbl.create 8;
+    state = Ok;
+    dirty = false;
+  }
+
+let node_count m = Vec.length m.nodes
+let edge_count m = m.edges
+
+let add_edge m a b =
+  if a <> b then begin
+    let l = match Hashtbl.find_opt m.succ a with Some l -> l | None -> [] in
+    if not (List.mem b l) then begin
+      Hashtbl.replace m.succ a (b :: l);
+      m.edges <- m.edges + 1;
+      m.dirty <- true
+    end
+  end
+
+let fail m v = if m.state = Ok then m.state <- v
+
+(* HB edges into node [k]: n HB→ k iff k's clock dominates n's first
+   stamp on n's thread.  Called whenever k's clock has grown. *)
+let refresh_hb_into m k =
+  let vck = m.vc.((Vec.get m.nodes k).n_thread) in
+  Vec.iteri
+    (fun i n ->
+      if i <> k && Vclock.dominates vck n.n_thread n.n_first_stamp then
+        add_edge m i k)
+    m.nodes
+
+(* Append a node to WWx: WW edges from every earlier visible writer,
+   and RW edges from every reader of those writers (and of vinit). *)
+let append_ww m x k =
+  let earlier = match Hashtbl.find_opt m.ww x with Some l -> l | None -> [] in
+  List.iter
+    (fun w ->
+      add_edge m w k;
+      List.iter
+        (fun r -> add_edge m r k)
+        (match Hashtbl.find_opt m.readers (w, x) with
+        | Some l -> l
+        | None -> []))
+    earlier;
+  List.iter
+    (fun r -> add_edge m r k)
+    (match Hashtbl.find_opt m.vinit_readers x with Some l -> l | None -> []);
+  Hashtbl.replace m.ww x (earlier @ [ k ])
+
+(* TXVIS (Figure 10): the node's writes take effect. *)
+let make_visible m k =
+  let n = Vec.get m.nodes k in
+  if not n.n_vis then begin
+    n.n_vis <- true;
+    List.iter (fun (x, _) -> append_ww m x k) n.n_last_write
+  end
+
+let new_node m ~thread ~txn =
+  let stamp = Vclock.get m.vc.(thread) thread in
+  let n =
+    {
+      n_thread = thread;
+      n_first_stamp = stamp;
+      n_vis = not txn;
+      n_completed = not txn;
+      n_aborted = false;
+      n_txn = txn;
+      n_commit_pending = false;
+      n_forced_visible = false;
+      n_last_write = [];
+    }
+  in
+  Vec.add_last m.nodes n;
+  let k = Vec.length m.nodes - 1 in
+  refresh_hb_into m k;
+  k
+
+(* A read of value [v] from register [x] by node [k] (Def 6.2 checks +
+   WR/RW edges of TXREAD/NTXREAD in Figure 10). *)
+let process_read m k x v ~local =
+  if local then ()
+  else if v = Types.v_init then begin
+    (* anti-dependencies towards every visible writer of x *)
+    List.iter
+      (fun w -> add_edge m k w)
+      (match Hashtbl.find_opt m.ww x with Some l -> l | None -> []);
+    Hashtbl.replace m.vinit_readers x
+      (k
+      :: (match Hashtbl.find_opt m.vinit_readers x with
+         | Some l -> l
+         | None -> []))
+  end
+  else
+    match Hashtbl.find_opt m.writer_of_value v with
+    | None -> fail m (Inconsistent "read of a value never written")
+    | Some (w, xw) ->
+        if xw <> x then fail m (Inconsistent "read from another register")
+        else begin
+          let wn = Vec.get m.nodes w in
+          if wn.n_aborted then
+            fail m (Inconsistent "read from an aborted transaction")
+          else if
+            (* reading an overwritten (local) write is inconsistent *)
+            List.assoc_opt x wn.n_last_write <> Some v
+          then fail m (Inconsistent "read of an overwritten write")
+          else begin
+            (* reading from a live/commit-pending transaction makes it
+               effectively committed: TXVIS fires here (the monitor's
+               analogue of reaching line 27) *)
+            if not wn.n_vis then begin
+              make_visible m w;
+              if not wn.n_completed then wn.n_forced_visible <- true
+            end;
+            add_edge m w k;
+            (* RW towards later writers already in WWx *)
+            (match Hashtbl.find_opt m.ww x with
+            | Some order ->
+                let rec after = function
+                  | [] -> []
+                  | h :: t -> if h = w then t else after t
+                in
+                List.iter (fun later -> add_edge m k later) (after order)
+            | None -> ());
+            Hashtbl.replace m.readers (w, x)
+              (k
+              :: (match Hashtbl.find_opt m.readers (w, x) with
+                 | Some l -> l
+                 | None -> []))
+          end
+        end
+
+(* Kahn's algorithm over the adjacency lists. *)
+let acyclic m =
+  let n = Vec.length m.nodes in
+  let indeg = Array.make n 0 in
+  Hashtbl.iter
+    (fun _ succs -> List.iter (fun b -> indeg.(b) <- indeg.(b) + 1) succs)
+    m.succ;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    incr seen;
+    List.iter
+      (fun b ->
+        indeg.(b) <- indeg.(b) - 1;
+        if indeg.(b) = 0 then Queue.add b queue)
+      (match Hashtbl.find_opt m.succ i with Some l -> l | None -> [])
+  done;
+  !seen = n
+
+let step m (a : Action.t) =
+  if m.state = Ok then begin
+    let t = a.Action.thread in
+    let in_txn = m.cur_txn_node.(t) >= 0 in
+    let nontxn_action =
+      (not in_txn)
+      && not (Action.equal_kind a.Action.kind (Action.Request Action.Txbegin))
+    in
+    (* incoming hb joins, mirroring Online_race *)
+    (match a.Action.kind with
+    | Action.Request Action.Txbegin -> Vclock.join_into ~dst:m.vc.(t) m.vc_af
+    | Action.Response Action.Fend -> Vclock.join_into ~dst:m.vc.(t) m.vc_bf
+    | Action.Response (Action.Ret v) when in_txn -> (
+        match Hashtbl.find_opt m.publish v with
+        | Some snap -> Vclock.join_into ~dst:m.vc.(t) snap
+        | None -> ())
+    | _ -> ());
+    if nontxn_action then Vclock.join_into ~dst:m.vc.(t) m.vc_cl;
+    ignore (Vclock.tick m.vc.(t) t);
+    (* graph updates *)
+    (match a.Action.kind with
+    | Action.Request Action.Txbegin ->
+        (* TXBEGIN *)
+        m.cur_txn_node.(t) <- new_node m ~thread:t ~txn:true;
+        m.txn_snapshot.(t) <- Some (Vclock.copy m.vc.(t))
+    | Action.Request (Action.Read x) -> m.pending_request.(t) <- Some (Action.Read x)
+    | Action.Request (Action.Write (x, v)) ->
+        m.pending_request.(t) <- Some (Action.Write (x, v));
+        if in_txn then begin
+          let k = m.cur_txn_node.(t) in
+          let n = Vec.get m.nodes k in
+          (* overwriting an own write that someone already read makes
+             that read local-stale retroactively (Def 6.1/6.2) *)
+          (if List.mem_assoc x n.n_last_write then
+             match Hashtbl.find_opt m.readers (k, x) with
+             | Some (_ :: _) ->
+                 fail m
+                   (Inconsistent "earlier read of a now-overwritten write")
+             | _ -> ());
+          (* a node already visible (read from while pending) that
+             writes a register for the first time joins that
+             register's WW order now *)
+          if n.n_vis && not (List.mem_assoc x n.n_last_write) then
+            append_ww m x k;
+          n.n_last_write <- (x, v) :: List.remove_assoc x n.n_last_write;
+          Hashtbl.replace m.writer_of_value v (k, x);
+          match m.txn_snapshot.(t) with
+          | Some snap -> Hashtbl.replace m.publish v (Vclock.copy snap)
+          | None -> ()
+        end
+    | Action.Response (Action.Ret v) -> (
+        match m.pending_request.(t) with
+        | Some (Action.Read x) ->
+            m.pending_request.(t) <- None;
+            if in_txn then begin
+              let k = m.cur_txn_node.(t) in
+              refresh_hb_into m k;
+              let n = Vec.get m.nodes k in
+              let local =
+                match List.assoc_opt x n.n_last_write with
+                | Some own -> own = v
+                | None -> false
+              in
+              (* a local read must return the latest own write *)
+              if
+                (not local) && List.mem_assoc x n.n_last_write
+              then fail m (Inconsistent "local read of a stale own write")
+              else process_read m k x v ~local
+            end
+            else begin
+              (* NTXREAD: fresh visible node *)
+              let k = new_node m ~thread:t ~txn:false in
+              process_read m k x v ~local:false
+            end
+        | _ -> m.pending_request.(t) <- None)
+    | Action.Response Action.Ret_unit ->
+        (match m.pending_request.(t) with
+        | Some (Action.Write (x, v)) when not in_txn ->
+            (* NTXWRITE: fresh visible node, appended to WWx *)
+            let k = new_node m ~thread:t ~txn:false in
+            let n = Vec.get m.nodes k in
+            n.n_last_write <- [ (x, v) ];
+            Hashtbl.replace m.writer_of_value v (k, x);
+            append_ww m x k
+        | _ -> ());
+        m.pending_request.(t) <- None
+    | Action.Response Action.Committed ->
+        if in_txn then begin
+          let k = m.cur_txn_node.(t) in
+          refresh_hb_into m k;
+          let n = Vec.get m.nodes k in
+          n.n_completed <- true;
+          (* TXVIS at commit *)
+          make_visible m k;
+          m.cur_txn_node.(t) <- -1;
+          m.txn_snapshot.(t) <- None;
+          Vclock.join_into ~dst:m.vc_bf m.vc.(t)
+        end
+    | Action.Response Action.Aborted ->
+        if in_txn then begin
+          let k = m.cur_txn_node.(t) in
+          refresh_hb_into m k;
+          let n = Vec.get m.nodes k in
+          n.n_completed <- true;
+          if n.n_vis then
+            fail m (Inconsistent "aborting a transaction that was read from")
+          else n.n_aborted <- true;
+          m.cur_txn_node.(t) <- -1;
+          m.txn_snapshot.(t) <- None;
+          Vclock.join_into ~dst:m.vc_bf m.vc.(t)
+        end;
+        m.pending_request.(t) <- None
+    | Action.Request Action.Txcommit ->
+        if in_txn then
+          (Vec.get m.nodes m.cur_txn_node.(t)).n_commit_pending <- true
+    | Action.Request Action.Fbegin -> Vclock.join_into ~dst:m.vc_af m.vc.(t)
+    | Action.Response Action.Okay -> ()
+    | Action.Response Action.Fend -> ());
+    if nontxn_action then Vclock.join_into ~dst:m.vc_cl m.vc.(t);
+    (* refresh HB edges into the acting thread's open node: its clock
+       may have grown past other nodes' first stamps *)
+    if m.cur_txn_node.(t) >= 0 then refresh_hb_into m (m.cur_txn_node.(t));
+    if m.state = Ok && m.dirty then begin
+      m.dirty <- false;
+      if not (acyclic m) then m.state <- Cyclic
+    end
+  end
+
+let verdict m =
+  if m.state <> Ok then m.state
+  else begin
+    (* Reads from a transaction that never reached txcommit are
+       inconsistent (Def 6.2: the writer must be committed or
+       commit-pending). *)
+    let bad = ref false in
+    Vec.iteri
+      (fun _ n ->
+        if
+          n.n_forced_visible && (not n.n_completed) && not n.n_commit_pending
+        then bad := true)
+      m.nodes;
+    if !bad then Inconsistent "read from a live transaction" else Ok
+  end
+
+let check (h : History.t) =
+  let threads =
+    Array.fold_left (fun acc (a : Action.t) -> max acc (a.Action.thread + 1)) 1 h
+  in
+  let m = create ~threads in
+  Array.iter (fun a -> step m a) h;
+  verdict m

@@ -1,0 +1,50 @@
+(** An incremental strong-opacity monitor: the graph updates of the
+    paper's TL2 proof (Figure 10) run online over a stream of actions.
+
+    The monitor maintains the opacity graph of the history seen so far,
+    extending it per action exactly as §7 describes:
+
+    - a new invisible node per [txbegin] (TXBEGIN);
+    - read/anti-dependencies per transactional read (TXREAD);
+    - visibility plus write/anti-dependencies when a transaction's
+      writes take effect (TXVIS) — detected here at the transaction's
+      commit, or earlier at the first read that returns one of its
+      values (the observational analogue of reaching line 27);
+    - visible nodes per non-transactional access (NTXREAD/NTXWRITE).
+
+    Happens-before edges are derived from the same vector clocks as
+    {!Tm_relations.Online_race}, so each action costs O(nodes) clock
+    comparisons; the verdict re-checks acyclicity on demand.
+
+    The monitor is one {e particular} graph choice of Definition 6.3
+    (the canonical one), so an [`Ok] verdict implies strong opacity
+    (Theorem 6.5); a property test confirms [`Ok] implies the offline
+    checker accepts.  Like the paper's proof, the interesting
+    guarantee is the converse direction on real executions: every
+    history of correct TL2 keeps the monitor green, while the doomed
+    and fault-injected histories trip it. *)
+
+open Tm_model
+
+type verdict =
+  | Ok
+  | Inconsistent of string  (** a read violated Definition 6.2 *)
+  | Cyclic  (** the graph acquired a cycle *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type t
+
+val create : threads:int -> t
+
+val step : t -> Action.t -> unit
+(** Feed the next action of the history. *)
+
+val verdict : t -> verdict
+(** Current verdict; [Inconsistent]/[Cyclic] are sticky. *)
+
+val check : History.t -> verdict
+(** Run the monitor over a whole history. *)
+
+val node_count : t -> int
+val edge_count : t -> int

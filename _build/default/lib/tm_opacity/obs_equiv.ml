@@ -1,0 +1,30 @@
+open Tm_model
+
+let thread_projection (h : History.t) t =
+  Array.to_list h |> List.filter (fun (a : Action.t) -> a.Action.thread = t)
+
+let nontxn_projection (h : History.t) =
+  let info = History.analyze h in
+  Array.to_list h
+  |> List.filteri (fun i _ -> info.History.access_of.(i) >= 0)
+
+let threads_of (h : History.t) =
+  Array.fold_left (fun m (a : Action.t) -> max m (a.Action.thread + 1)) 0 h
+
+let equivalent h1 h2 =
+  let n = max (threads_of h1) (threads_of h2) in
+  let same_threads =
+    List.for_all
+      (fun t ->
+        List.equal Action.equal (thread_projection h1 t)
+          (thread_projection h2 t))
+      (List.init n (fun t -> t))
+  in
+  same_threads
+  && List.equal Action.equal (nontxn_projection h1) (nontxn_projection h2)
+
+let refines ts ts' =
+  List.for_all (fun h -> List.exists (equivalent h) ts') ts
+
+let spo_implies_equivalent h1 h2 =
+  (not (Spo_relation.in_relation h1 h2)) || equivalent h1 h2

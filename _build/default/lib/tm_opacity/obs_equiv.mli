@@ -1,0 +1,27 @@
+(** Observational equivalence and refinement (Definitions 5.1 and 5.2).
+
+    Two traces are observationally equivalent when every thread
+    performs the same sequence of actions in both and the
+    non-transactional accesses (which carry all input/output) appear in
+    the same global order.  The Fundamental Property (Theorem 5.3)
+    states that a DRF program's behaviours on a strongly opaque TM
+    observationally refine its behaviours on the atomic TM.
+
+    Histories are the observable part of traces here (primitive actions
+    are thread-local), so equivalence is stated on histories. *)
+
+open Tm_model
+
+val equivalent : History.t -> History.t -> bool
+(** [τ ∼ τ'] — same per-thread projections and same projection onto
+    actions of non-transactional accesses. *)
+
+val refines : History.t list -> History.t list -> bool
+(** [T ⊑_obs T'] (Definition 5.2): every history in [T] has an
+    observational equivalent in [T']. *)
+
+val spo_implies_equivalent : History.t -> History.t -> bool
+(** Checkable instance of the Rearrangement Lemma (B.1)'s core fact:
+    if [h1 ⊑ h2] then [h1 ∼ h2], because [⊑] preserves program order
+    and client order.  Returns [true] when the implication holds on
+    this pair (vacuously if [h1 ⊑ h2] fails). *)

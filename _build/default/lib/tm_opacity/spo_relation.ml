@@ -1,0 +1,46 @@
+open Tm_model
+open Tm_relations
+
+let permutation_of (h1 : History.t) (h2 : History.t) =
+  let n = History.length h1 in
+  if History.length h2 <> n then None
+  else begin
+    let index2 = Hashtbl.create n in
+    Array.iteri
+      (fun j (a : Action.t) -> Hashtbl.replace index2 a.Action.id j)
+      h2;
+    let theta = Array.make n (-1) in
+    let ok = ref true in
+    Array.iteri
+      (fun i (a : Action.t) ->
+        match Hashtbl.find_opt index2 a.Action.id with
+        | Some j when Action.equal (History.get h2 j) a -> theta.(i) <- j
+        | _ -> ok := false)
+      h1;
+    (* Bijectivity: identifiers are unique in well-formed histories, so
+       injectivity follows from equal length + totality; verify anyway. *)
+    let seen = Array.make n false in
+    Array.iter
+      (fun j ->
+        if j < 0 || seen.(j) then ok := false else seen.(j) <- true)
+      theta;
+    if !ok then Some theta else None
+  end
+
+let hb_preserving (rels1 : Relations.t) (_h2 : History.t) theta =
+  let hb = rels1.Relations.hb in
+  let n = Array.length theta in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Rel.mem hb i j && theta.(i) >= theta.(j) then ok := false
+    done
+  done;
+  !ok
+
+let in_relation h1 h2 =
+  match permutation_of h1 h2 with
+  | None -> false
+  | Some theta ->
+      let rels1 = Relations.of_history h1 in
+      hb_preserving rels1 h2 theta

@@ -1,0 +1,1 @@
+lib/tm_relations/online_race.ml: Action Array Hashtbl History List Race Tm_model Types Vclock

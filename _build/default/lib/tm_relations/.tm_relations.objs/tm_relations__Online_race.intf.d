@@ -1,0 +1,1 @@
+lib/tm_relations/online_race.mli: Action History Race Tm_model

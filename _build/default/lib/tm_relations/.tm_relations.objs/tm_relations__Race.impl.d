@@ -1,0 +1,1 @@
+lib/tm_relations/race.ml: Action Array Format History List Rel Relations Tm_model Types

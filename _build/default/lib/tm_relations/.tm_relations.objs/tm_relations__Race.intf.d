@@ -1,0 +1,1 @@
+lib/tm_relations/race.mli: Format History Relations Tm_model Types

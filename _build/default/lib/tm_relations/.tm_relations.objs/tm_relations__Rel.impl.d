@@ -1,0 +1,1 @@
+lib/tm_relations/rel.ml: Array Format List Queue Sys

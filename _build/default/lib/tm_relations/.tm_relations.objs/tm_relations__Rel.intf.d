@@ -1,0 +1,1 @@
+lib/tm_relations/rel.mli: Format

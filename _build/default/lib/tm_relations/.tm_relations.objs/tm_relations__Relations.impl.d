@@ -1,0 +1,1 @@
+lib/tm_relations/relations.ml: Action Array Hashtbl History Int List Rel Set Tm_model Types

@@ -1,0 +1,1 @@
+lib/tm_relations/relations.mli: History Rel Tm_model Types

@@ -1,0 +1,1 @@
+lib/tm_relations/vclock.ml: Array Format

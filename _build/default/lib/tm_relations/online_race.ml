@@ -1,0 +1,169 @@
+open Tm_model
+
+(* Last access per thread: thread -> (stamp, action index). *)
+type access_table = (int, int * int) Hashtbl.t
+
+type reg_state = {
+  txn_reads : access_table;
+  txn_writes : access_table;
+  nt_reads : access_table;
+  nt_writes : access_table;
+}
+
+type t = {
+  threads : int;
+  vc : Vclock.t array;
+  vc_cl : Vclock.t;  (** join of all non-transactional actions so far *)
+  vc_af : Vclock.t;  (** join of all [fbegin] actions so far *)
+  vc_bf : Vclock.t;  (** join of all transaction completions so far *)
+  in_txn : bool array;
+  txn_snapshot : Vclock.t option array;
+      (** per thread: clock as of the current transaction's begin —
+          what [xpo ; txwr] publishes with each transactional write *)
+  publish : (Types.value, Vclock.t) Hashtbl.t;
+  regs : (Types.reg, reg_state) Hashtbl.t;
+  mutable index : int;
+}
+
+let create ~threads =
+  {
+    threads;
+    vc = Array.init threads (fun _ -> Vclock.create threads);
+    vc_cl = Vclock.create threads;
+    vc_af = Vclock.create threads;
+    vc_bf = Vclock.create threads;
+    in_txn = Array.make threads false;
+    txn_snapshot = Array.make threads None;
+    publish = Hashtbl.create 32;
+    regs = Hashtbl.create 8;
+    index = 0;
+  }
+
+let reg_state d x =
+  match Hashtbl.find_opt d.regs x with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          txn_reads = Hashtbl.create 4;
+          txn_writes = Hashtbl.create 4;
+          nt_reads = Hashtbl.create 4;
+          nt_writes = Hashtbl.create 4;
+        }
+      in
+      Hashtbl.replace d.regs x s;
+      s
+
+(* Entries of [table] not happening-before the current point of thread
+   [t] — each is a race partner. *)
+let unordered d t table =
+  Hashtbl.fold
+    (fun u (stamp, idx) acc ->
+      if u <> t && not (Vclock.dominates d.vc.(t) u stamp) then idx :: acc
+      else acc)
+    table []
+
+let record table t stamp idx =
+  match Hashtbl.find_opt table t with
+  | Some (s, _) when s >= stamp -> ()
+  | _ -> Hashtbl.replace table t (stamp, idx)
+
+(* Process one action; return all races it completes. *)
+let step_races d idx (a : Action.t) =
+  let t = a.Action.thread in
+  (* Non-transactional actions (§2.2) are those outside a transaction:
+     a [txbegin] request already belongs to its transaction. *)
+  let nontxn_action =
+    (not d.in_txn.(t))
+    && not (Action.equal_kind a.Action.kind (Action.Request Action.Txbegin))
+  in
+  (* 1. incoming happens-before joins *)
+  (match a.Action.kind with
+  | Action.Request Action.Txbegin -> Vclock.join_into ~dst:d.vc.(t) d.vc_af
+  | Action.Response Action.Fend -> Vclock.join_into ~dst:d.vc.(t) d.vc_bf
+  | Action.Response (Action.Ret v) when d.in_txn.(t) -> (
+      (* transactional read response: xpo ; txwr from the writer *)
+      match Hashtbl.find_opt d.publish v with
+      | Some snapshot -> Vclock.join_into ~dst:d.vc.(t) snapshot
+      | None -> ())
+  | _ -> ());
+  if nontxn_action then Vclock.join_into ~dst:d.vc.(t) d.vc_cl;
+  (* 2. stamp the action *)
+  let stamp = Vclock.tick d.vc.(t) t in
+  (* 3. conflicts and 4. recording (request actions only) *)
+  let races =
+    match a.Action.kind with
+    | Action.Request (Action.Read x) ->
+        let rs = reg_state d x in
+        if d.in_txn.(t) then begin
+          let partners = unordered d t rs.nt_writes in
+          record rs.txn_reads t stamp idx;
+          List.map
+            (fun j -> { Race.r_nontxn = j; Race.r_txn = idx; Race.r_reg = x })
+            partners
+        end
+        else begin
+          let partners = unordered d t rs.txn_writes in
+          record rs.nt_reads t stamp idx;
+          List.map
+            (fun j -> { Race.r_nontxn = idx; Race.r_txn = j; Race.r_reg = x })
+            partners
+        end
+    | Action.Request (Action.Write (x, v)) ->
+        let rs = reg_state d x in
+        if d.in_txn.(t) then begin
+          (* publish the txn-begin snapshot for xpo ; txwr *)
+          (match d.txn_snapshot.(t) with
+          | Some snap -> Hashtbl.replace d.publish v (Vclock.copy snap)
+          | None -> ());
+          let partners = unordered d t rs.nt_writes @ unordered d t rs.nt_reads in
+          record rs.txn_writes t stamp idx;
+          List.map
+            (fun j -> { Race.r_nontxn = j; Race.r_txn = idx; Race.r_reg = x })
+            partners
+        end
+        else begin
+          let partners =
+            unordered d t rs.txn_writes @ unordered d t rs.txn_reads
+          in
+          record rs.nt_writes t stamp idx;
+          List.map
+            (fun j -> { Race.r_nontxn = idx; Race.r_txn = j; Race.r_reg = x })
+            partners
+        end
+    | _ -> []
+  in
+  (* 5. state transitions and outgoing joins *)
+  (match a.Action.kind with
+  | Action.Request Action.Txbegin ->
+      d.in_txn.(t) <- true;
+      d.txn_snapshot.(t) <- Some (Vclock.copy d.vc.(t))
+  | Action.Response Action.Committed | Action.Response Action.Aborted ->
+      if d.in_txn.(t) then begin
+        d.in_txn.(t) <- false;
+        d.txn_snapshot.(t) <- None;
+        Vclock.join_into ~dst:d.vc_bf d.vc.(t)
+      end
+  | Action.Request Action.Fbegin -> Vclock.join_into ~dst:d.vc_af d.vc.(t)
+  | _ -> ());
+  if nontxn_action then Vclock.join_into ~dst:d.vc_cl d.vc.(t);
+  races
+
+let step_indexed d idx a =
+  match step_races d idx a with [] -> None | r :: _ -> Some r
+
+let step d a =
+  let idx = d.index in
+  d.index <- idx + 1;
+  step_indexed d idx a
+
+let check (h : History.t) =
+  let threads =
+    Array.fold_left (fun m (a : Action.t) -> max m (a.Action.thread + 1)) 1 h
+  in
+  let d = create ~threads in
+  let races = ref [] in
+  Array.iteri (fun idx a -> races := step_races d idx a @ !races) h;
+  List.rev !races
+
+let is_drf h = check h = []

@@ -1,0 +1,38 @@
+(** Online (single-pass) data-race detection with vector clocks — a
+    FastTrack-style detector specialized to the paper's happens-before
+    relation (Definition 3.4), in the spirit of the T-Rex tool of
+    Kestor et al. [24] but additionally aware of transactional fences.
+
+    The detector processes a history action by action in O(threads)
+    per action, maintaining one vector clock per thread plus running
+    joins for the client order (all non-transactional actions), the
+    after-fence order (all [fbegin]s) and the before-fence order (all
+    completions).  The [xpo ; txwr] component is tracked by publishing,
+    with every transactional write, the writer's clock as of its
+    transaction's begin, and joining it at every transactional read of
+    that value.
+
+    Like FastTrack, the detector keeps only the most recent access per
+    thread and register category, so it reports a {e subset} of the
+    offline checker's races; its racy/DRF {e verdict} agrees exactly
+    with {!Race.races}, and every race it reports is real (qcheck
+    properties cross-validate both facts). *)
+
+open Tm_model
+
+type t
+
+val create : threads:int -> t
+
+val step : t -> Action.t -> Race.race option
+(** Feed the next action (in execution order, with its final index
+    supplied via {!step_indexed} when precise reports are wanted).
+    Returns a race the action completes, if any. *)
+
+val step_indexed : t -> int -> Action.t -> Race.race option
+(** Like {!step} but records the action's history index in reports. *)
+
+val check : History.t -> Race.race list
+(** Run the detector over a whole history. *)
+
+val is_drf : History.t -> bool

@@ -1,0 +1,73 @@
+open Tm_model
+
+type race = { r_nontxn : int; r_txn : int; r_reg : Types.reg }
+
+let conflict (info : History.info) i j =
+  let h = info.History.history in
+  let a = History.get h i and b = History.get h j in
+  Action.is_access_request a && Action.is_access_request b
+  && a.Action.thread <> b.Action.thread
+  && (Action.is_write_request a || Action.is_write_request b)
+  && (match (Action.accessed_reg a, Action.accessed_reg b) with
+     | Some x, Some y -> x = y
+     | _ -> false)
+  &&
+  let ti = info.History.txn_of.(i) = -1
+  and tj = info.History.txn_of.(j) = -1 in
+  ti <> tj (* exactly one of the two is non-transactional *)
+
+let mk_race info i j =
+  let nontxn, txn = if info.History.txn_of.(i) = -1 then (i, j) else (j, i) in
+  let reg =
+    match Action.accessed_reg (History.get info.History.history nontxn) with
+    | Some x -> x
+    | None -> assert false
+  in
+  { r_nontxn = nontxn; r_txn = txn; r_reg = reg }
+
+let races (r : Relations.t) =
+  let info = r.Relations.info in
+  let n = History.length info.History.history in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        conflict info i j
+        && (not (Rel.mem r.Relations.hb i j))
+        && not (Rel.mem r.Relations.hb j i)
+      then acc := mk_race info i j :: !acc
+    done
+  done;
+  List.rev !acc
+
+let is_drf r = races r = []
+let is_drf_history h = is_drf (Relations.of_history h)
+
+let first_race r =
+  (* [races] scans with the outer index ascending, so sorting by the
+     later action's index gives the earliest-completed race. *)
+  match
+    List.sort
+      (fun a b ->
+        compare (max a.r_nontxn a.r_txn) (max b.r_nontxn b.r_txn))
+      (races r)
+  with
+  | [] -> None
+  | race :: _ -> Some race
+
+let pp_race h ppf race =
+  Format.fprintf ppf "race on %a: non-transactional %a (index %d) vs \
+                      transactional %a (index %d)"
+    Types.pp_reg race.r_reg Action.pp_short
+    (History.get h race.r_nontxn)
+    race.r_nontxn Action.pp_short
+    (History.get h race.r_txn)
+    race.r_txn
+
+let pp_report ppf r =
+  let h = r.Relations.info.History.history in
+  match races r with
+  | [] -> Format.fprintf ppf "history is data-race free"
+  | rs ->
+      Format.fprintf ppf "%d data race(s):@." (List.length rs);
+      List.iter (fun race -> Format.fprintf ppf "  %a@." (pp_race h) race) rs

@@ -1,0 +1,38 @@
+(** Conflicts, data races and data-race freedom (Definitions 3.1-3.3),
+    plus a race detector producing human-readable reports in the style
+    of Kestor et al. [24] (specialized to the paper's DRF notion, which
+    additionally accounts for transactional fences). *)
+
+open Tm_model
+
+type race = {
+  r_nontxn : int;  (** index of the non-transactional request action *)
+  r_txn : int;  (** index of the transactional request action *)
+  r_reg : Types.reg;  (** the register both actions access *)
+}
+
+val conflict : History.info -> int -> int -> bool
+(** [conflict info i j] holds iff one of the request actions [i], [j] is
+    non-transactional and the other transactional, they are by different
+    threads, access the same register, and at least one writes
+    (Definition 3.1). *)
+
+val races : Relations.t -> race list
+(** All conflicting pairs unordered by happens-before either way
+    (Definition 3.2). *)
+
+val is_drf : Relations.t -> bool
+(** [DRF(H)]: the history has no data races. *)
+
+val is_drf_history : History.t -> bool
+(** Convenience: analyze, compute relations, check DRF. *)
+
+val first_race : Relations.t -> race option
+(** The race whose later action is earliest in execution order — the
+    race the proof of Lemma 5.4 singles out. *)
+
+val pp_race : History.t -> Format.formatter -> race -> unit
+(** Renders a race as the two offending actions with their indices. *)
+
+val pp_report : Format.formatter -> Relations.t -> unit
+(** A full race report: either "data-race free" or one line per race. *)

@@ -1,0 +1,145 @@
+(* Bitset adjacency matrix: row i is an int array of ceil(n/63) words,
+   bit j of row i set iff (i, j) is in the relation. *)
+
+type t = { n : int; words : int; rows : int array array }
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit *)
+
+let create n =
+  let words = if n = 0 then 0 else ((n - 1) / bits_per_word) + 1 in
+  { n; words; rows = Array.init n (fun _ -> Array.make words 0) }
+
+let size r = r.n
+
+let add r i j =
+  r.rows.(i).(j / bits_per_word) <-
+    r.rows.(i).(j / bits_per_word) lor (1 lsl (j mod bits_per_word))
+
+let mem r i j =
+  r.rows.(i).(j / bits_per_word) land (1 lsl (j mod bits_per_word)) <> 0
+
+let of_pred n p =
+  let r = create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if p i j then add r i j
+    done
+  done;
+  r
+
+let copy r = { r with rows = Array.map Array.copy r.rows }
+
+let union_into ~dst r =
+  assert (dst.n = r.n);
+  for i = 0 to r.n - 1 do
+    let d = dst.rows.(i) and s = r.rows.(i) in
+    for w = 0 to r.words - 1 do
+      d.(w) <- d.(w) lor s.(w)
+    done
+  done
+
+let union a b =
+  let r = copy a in
+  union_into ~dst:r b;
+  r
+
+let rec bit_position acc x = if x = 1 then acc else bit_position (acc + 1) (x lsr 1)
+
+let row_iter r i f =
+  let row = r.rows.(i) in
+  for w = 0 to r.words - 1 do
+    let bits = ref row.(w) in
+    while !bits <> 0 do
+      let b = !bits land - !bits in
+      f ((w * bits_per_word) + bit_position 0 b);
+      bits := !bits lxor b
+    done
+  done
+
+let compose a b =
+  assert (a.n = b.n);
+  let r = create a.n in
+  for i = 0 to a.n - 1 do
+    let dst = r.rows.(i) in
+    row_iter a i (fun j ->
+        let s = b.rows.(j) in
+        for w = 0 to b.words - 1 do
+          dst.(w) <- dst.(w) lor s.(w)
+        done)
+  done;
+  r
+
+let close_into r =
+  (* Warshall with bitset rows: if i reaches k, i also reaches all
+     successors of k. *)
+  for k = 0 to r.n - 1 do
+    let rk = r.rows.(k) in
+    for i = 0 to r.n - 1 do
+      if mem r i k then begin
+        let ri = r.rows.(i) in
+        for w = 0 to r.words - 1 do
+          ri.(w) <- ri.(w) lor rk.(w)
+        done
+      end
+    done
+  done
+
+let transitive_closure r =
+  let c = copy r in
+  close_into c;
+  c
+
+let is_irreflexive r =
+  let rec go i = i >= r.n || ((not (mem r i i)) && go (i + 1)) in
+  go 0
+
+let is_acyclic r = is_irreflexive (transitive_closure r)
+
+let iter_pairs r f =
+  for i = 0 to r.n - 1 do
+    row_iter r i (fun j -> f i j)
+  done
+
+let fold_pairs r f init =
+  let acc = ref init in
+  iter_pairs r (fun i j -> acc := f !acc i j);
+  !acc
+
+let pairs r = List.rev (fold_pairs r (fun acc i j -> (i, j) :: acc) [])
+let cardinal r = fold_pairs r (fun acc _ _ -> acc + 1) 0
+
+let successors r i =
+  let acc = ref [] in
+  row_iter r i (fun j -> acc := j :: !acc);
+  List.rev !acc
+
+let topological_sort r =
+  let indegree = Array.make r.n 0 in
+  iter_pairs r (fun _ j -> indegree.(j) <- indegree.(j) + 1);
+  let queue = Queue.create () in
+  for i = 0 to r.n - 1 do
+    if indegree.(i) = 0 then Queue.add i queue
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := i :: !order;
+    incr count;
+    row_iter r i (fun j ->
+        indegree.(j) <- indegree.(j) - 1;
+        if indegree.(j) = 0 then Queue.add j queue)
+  done;
+  if !count = r.n then Some (List.rev !order) else None
+
+let equal a b =
+  a.n = b.n
+  && Array.for_all2 (fun ra rb -> ra = rb) a.rows b.rows
+
+let pp ppf r =
+  Format.fprintf ppf "@[<hov 1>{";
+  let first = ref true in
+  iter_pairs r (fun i j ->
+      if !first then first := false else Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "(%d,%d)" i j);
+  Format.fprintf ppf "}@]"

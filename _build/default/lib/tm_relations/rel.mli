@@ -1,0 +1,52 @@
+(** Finite binary relations over [{0..n-1}], implemented as bitset
+    adjacency rows.
+
+    All the history relations of §3 (program order, client order, fence
+    orders, read dependencies, happens-before) are relations over action
+    indices; the opacity-graph relations of §6 are relations over graph
+    node indices.  This module gives both layers a single efficient
+    representation with union, relational composition and transitive
+    closure. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty relation over [{0..n-1}]. *)
+
+val size : t -> int
+val add : t -> int -> int -> unit
+val mem : t -> int -> int -> bool
+
+val of_pred : int -> (int -> int -> bool) -> t
+(** [of_pred n p] contains [(i,j)] iff [p i j]. *)
+
+val copy : t -> t
+val union_into : dst:t -> t -> unit
+val union : t -> t -> t
+
+val compose : t -> t -> t
+(** Relational composition [r ; s]: [(i,k)] iff exists [j] with
+    [(i,j) ∈ r] and [(j,k) ∈ s]. *)
+
+val transitive_closure : t -> t
+(** Warshall's algorithm over bitset rows; [r⁺]. *)
+
+val close_into : t -> unit
+(** In-place transitive closure. *)
+
+val is_irreflexive : t -> bool
+val is_acyclic : t -> bool
+(** No cycle, i.e. the transitive closure is irreflexive. *)
+
+val iter_pairs : t -> (int -> int -> unit) -> unit
+val fold_pairs : t -> ('a -> int -> int -> 'a) -> 'a -> 'a
+val pairs : t -> (int * int) list
+val cardinal : t -> int
+
+val successors : t -> int -> int list
+val topological_sort : t -> int list option
+(** A linear order of [{0..n-1}] compatible with the relation, or
+    [None] if it has a cycle. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+open Tm_model
+
+type t = {
+  info : History.info;
+  po : Rel.t;
+  xpo : Rel.t;
+  cl : Rel.t;
+  af : Rel.t;
+  bf : Rel.t;
+  wr : (Types.reg * Rel.t) list;
+  txwr : (Types.reg * Rel.t) list;
+  rt : Rel.t;
+  hb : Rel.t;
+}
+
+let registers_of (h : History.t) =
+  let module S = Set.Make (Int) in
+  Array.fold_left
+    (fun acc a ->
+      match Action.accessed_reg a with Some x -> S.add x acc | None -> acc)
+    S.empty h
+  |> S.elements
+
+(* For every action index [i], the smallest index > i of a txbegin
+   request by the same thread, or max_int. *)
+let next_own_txbegin (h : History.t) =
+  let n = History.length h in
+  let next = Array.make n max_int in
+  let nthreads =
+    Array.fold_left (fun m (a : Action.t) -> max m (a.thread + 1)) 0 h
+  in
+  let last_seen = Array.make nthreads max_int in
+  for i = n - 1 downto 0 do
+    let a = History.get h i in
+    next.(i) <- last_seen.(a.Action.thread);
+    if Action.equal_kind a.Action.kind (Action.Request Action.Txbegin) then
+      last_seen.(a.Action.thread) <- i
+  done;
+  next
+
+let compute (info : History.info) : t =
+  let h = info.History.history in
+  let n = History.length h in
+  let act i = History.get h i in
+  let thread i = (act i).Action.thread in
+  let kind i = (act i).Action.kind in
+  let is_nontxn i = info.History.txn_of.(i) = -1 in
+  let po = Rel.of_pred n (fun i j -> i < j && thread i = thread j) in
+  let next_txbegin = next_own_txbegin h in
+  let xpo =
+    Rel.of_pred n (fun i j ->
+        i < j && thread i = thread j && next_txbegin.(i) < j)
+  in
+  let cl = Rel.of_pred n (fun i j -> i < j && is_nontxn i && is_nontxn j) in
+  let af =
+    Rel.of_pred n (fun i j ->
+        i < j
+        && Action.equal_kind (kind i) (Action.Request Action.Fbegin)
+        && Action.equal_kind (kind j) (Action.Request Action.Txbegin))
+  in
+  let bf =
+    Rel.of_pred n (fun i j ->
+        i < j
+        && Action.is_completion (act i)
+        && Action.equal_kind (kind j) (Action.Response Action.Fend))
+  in
+  let rt =
+    Rel.of_pred n (fun i j ->
+        i < j
+        && Action.is_completion (act i)
+        && Action.equal_kind (kind j) (Action.Request Action.Txbegin))
+  in
+  (* Read dependencies: with unique written values, each read response
+     [ret(v)] (v ≠ vinit) has at most one writer. *)
+  let writer_of_value = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    match Action.written_value (act i) with
+    | Some v -> Hashtbl.replace writer_of_value v i
+    | None -> ()
+  done;
+  let registers = registers_of h in
+  let wr_tbl = List.map (fun x -> (x, Rel.create n)) registers in
+  let txwr_tbl = List.map (fun x -> (x, Rel.create n)) registers in
+  for j = 0 to n - 1 do
+    match (kind j, info.History.request_of.(j)) with
+    | Action.Response (Action.Ret v), Some req when v <> Types.v_init -> (
+        match ((act req).Action.kind, Hashtbl.find_opt writer_of_value v) with
+        | Action.Request (Action.Read x), Some i
+          when Action.accessed_reg (act i) = Some x ->
+            Rel.add (List.assoc x wr_tbl) i j;
+            if (not (is_nontxn i)) && not (is_nontxn j) then
+              Rel.add (List.assoc x txwr_tbl) i j
+        | _ -> ())
+    | _ -> ()
+  done;
+  let hb = Rel.create n in
+  Rel.union_into ~dst:hb po;
+  Rel.union_into ~dst:hb cl;
+  Rel.union_into ~dst:hb af;
+  Rel.union_into ~dst:hb bf;
+  List.iter
+    (fun (x, txwr_x) ->
+      ignore x;
+      Rel.union_into ~dst:hb (Rel.compose xpo txwr_x))
+    txwr_tbl;
+  Rel.close_into hb;
+  { info; po; xpo; cl; af; bf; wr = wr_tbl; txwr = txwr_tbl; rt; hb }
+
+let of_history h = compute (History.analyze h)
+
+let wr_all t =
+  let n = History.length t.info.History.history in
+  let r = Rel.create n in
+  List.iter (fun (_, wr_x) -> Rel.union_into ~dst:r wr_x) t.wr;
+  r
+
+let hb_between t i j = Rel.mem t.hb i j

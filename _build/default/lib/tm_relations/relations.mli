@@ -1,0 +1,44 @@
+(** The history relations of §3 and §4 of the paper, computed over
+    action indices of a history.
+
+    All relations are subsets of the execution order [<_H] (index
+    order).  The happens-before relation (Definition 3.4) is
+
+    {v hb(H) = (po ∪ cl ∪ af ∪ bf ∪ ⋃x (xpo ; txwr_x))⁺ v} *)
+
+open Tm_model
+
+(** All component relations of a history, computed in one pass from a
+    structural analysis. *)
+type t = {
+  info : History.info;
+  po : Rel.t;  (** per-thread order *)
+  xpo : Rel.t;
+      (** restricted per-thread order: same thread, with a [txbegin] of
+          that thread strictly in between *)
+  cl : Rel.t;  (** client order: both actions non-transactional *)
+  af : Rel.t;  (** after-fence: [fbegin] before a later [txbegin] *)
+  bf : Rel.t;  (** before-fence: completion before a later [fend] *)
+  wr : (Types.reg * Rel.t) list;
+      (** read-dependency [wr_x] per register: a [write(x,v)] request to
+          the [ret(v)] response of a [read(x)] *)
+  txwr : (Types.reg * Rel.t) list;
+      (** transactional read dependency: [wr_x] restricted to pairs
+          where both endpoints are transactional *)
+  rt : Rel.t;
+      (** real-time order (§4): completion action before a later
+          [txbegin] *)
+  hb : Rel.t;  (** happens-before, Definition 3.4 (transitively closed) *)
+}
+
+val compute : History.info -> t
+(** Compute every relation of a history. *)
+
+val of_history : History.t -> t
+(** [compute] composed with {!History.analyze}. *)
+
+val wr_all : t -> Rel.t
+(** Union of [wr_x] over all registers. *)
+
+val hb_between : t -> int -> int -> bool
+(** [hb_between r i j] iff action [i] happens-before action [j]. *)

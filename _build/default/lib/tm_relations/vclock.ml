@@ -1,0 +1,21 @@
+type t = int array
+
+let create n = Array.make n 0
+let copy = Array.copy
+let get (c : t) t = c.(t)
+
+let tick (c : t) t =
+  c.(t) <- c.(t) + 1;
+  c.(t)
+
+let join_into ~dst (src : t) =
+  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+let dominates (c : t) t stamp = c.(t) >= stamp
+
+let pp ppf (c : t) =
+  Format.fprintf ppf "@[<h>[%a]@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+       Format.pp_print_int)
+    (Array.to_list c)

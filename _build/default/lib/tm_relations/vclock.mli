@@ -1,0 +1,24 @@
+(** Vector clocks over a fixed set of threads, used by the online race
+    detector to track the paper's happens-before relation
+    incrementally. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the zero clock for [n] threads. *)
+
+val copy : t -> t
+val get : t -> int -> int
+val tick : t -> int -> int
+(** [tick c t] increments component [t] and returns the new value (the
+    {e stamp} of the event). *)
+
+val join_into : dst:t -> t -> unit
+(** Pointwise maximum, accumulated into [dst]. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates c t stamp]: component [t] of [c] is at least [stamp] —
+    i.e. the event [(t, stamp)] happens-before the point described by
+    [c]. *)
+
+val pp : Format.formatter -> t -> unit

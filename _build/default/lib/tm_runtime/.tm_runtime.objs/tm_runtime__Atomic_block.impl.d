@@ -1,0 +1,1 @@
+lib/tm_runtime/atomic_block.ml: Domain Printf Tm_intf

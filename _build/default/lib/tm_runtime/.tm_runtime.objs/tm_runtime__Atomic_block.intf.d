@@ -1,0 +1,1 @@
+lib/tm_runtime/atomic_block.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/tm_runtime/fence_policy.mli: Format

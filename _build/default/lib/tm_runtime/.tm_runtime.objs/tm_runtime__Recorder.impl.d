@@ -1,0 +1,1 @@
+lib/tm_runtime/recorder.ml: Action Atomic History List Mutex Tm_model

@@ -1,0 +1,1 @@
+lib/tm_runtime/recorder.mli: Action History Tm_model Types

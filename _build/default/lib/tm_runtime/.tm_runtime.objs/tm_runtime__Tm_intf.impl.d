@@ -1,0 +1,1 @@
+lib/tm_runtime/tm_intf.ml: Recorder Tm_model

@@ -1,0 +1,31 @@
+type 'a attempt = Committed of 'a | Aborted
+
+module Make (T : Tm_intf.S) = struct
+  let attempt tm ~thread body =
+    let txn = T.txn_begin tm ~thread in
+    match body txn with
+    | result -> (
+        match T.commit tm txn with
+        | () -> Committed result
+        | exception Tm_intf.Abort -> Aborted)
+    | exception Tm_intf.Abort ->
+        (* The TM runs its abort handler (logging + clearing the active
+           flag) before raising, so there is nothing left to clean up. *)
+        Aborted
+
+  let run ?(max_retries = max_int) tm ~thread body =
+    let rec go retries =
+      match attempt tm ~thread body with
+      | Committed result -> (result, retries)
+      | Aborted ->
+          if retries >= max_retries then
+            failwith
+              (Printf.sprintf "%s: transaction aborted %d times" T.name
+                 retries)
+          else begin
+            Domain.cpu_relax ();
+            go (retries + 1)
+          end
+    in
+    go 0
+end

@@ -1,0 +1,17 @@
+(** Derived atomic-block combinators over any TM implementation: the
+    [l := atomic {C}] construct of §2.1, as a single attempt (matching
+    the language, where the result may be [aborted]) and as a
+    retry-until-commit loop (the idiom real workloads use). *)
+
+type 'a attempt = Committed of 'a | Aborted
+
+module Make (T : Tm_intf.S) : sig
+  val attempt : T.t -> thread:int -> (T.txn -> 'a) -> 'a attempt
+  (** Run the block as one transaction; return [Aborted] if the TM
+      aborts at any point (including commit). *)
+
+  val run : ?max_retries:int -> T.t -> thread:int -> (T.txn -> 'a) -> 'a * int
+  (** Retry until commit; returns the result and the number of aborted
+      attempts.  Raises [Failure] after [max_retries] (default
+      unlimited) consecutive aborts. *)
+end

@@ -1,0 +1,25 @@
+type t = No_fences | Selective | Conservative | Skip_read_only
+
+let all = [ No_fences; Selective; Conservative; Skip_read_only ]
+
+let name = function
+  | No_fences -> "none"
+  | Selective -> "selective"
+  | Conservative -> "conservative"
+  | Skip_read_only -> "skip-read-only"
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let fence_after_txn t ~read_only ~requested =
+  match t with
+  | No_fences -> false
+  | Selective -> requested
+  | Conservative -> true
+  | Skip_read_only -> not read_only
+
+let of_string = function
+  | "none" -> Some No_fences
+  | "selective" -> Some Selective
+  | "conservative" -> Some Conservative
+  | "skip-read-only" -> Some Skip_read_only
+  | _ -> None

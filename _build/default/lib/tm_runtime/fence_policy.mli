@@ -1,0 +1,26 @@
+(** Fence-placement policies (§1, Yoo et al. [42], Zhou et al. [43]).
+
+    A policy decides whether a transactional fence is executed after a
+    transaction completes.  [Selective] is the programmer-annotation
+    regime the paper's DRF notion supports; [Conservative] fences after
+    every transaction (the safe-but-slow default whose overhead Yoo et
+    al. measured); [Skip_read_only] is the buggy GCC libitm placement
+    that omits fences after read-only transactions. *)
+
+type t =
+  | No_fences  (** never fence (unsafe for privatization) *)
+  | Selective  (** fence only where the program requests one *)
+  | Conservative  (** fence after every transaction *)
+  | Skip_read_only
+      (** fence after every transaction except read-only ones — the
+          GCC libitm bug class *)
+
+val all : t list
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+val fence_after_txn : t -> read_only:bool -> requested:bool -> bool
+(** Whether to fence after a transaction given its read-only status and
+    whether the program's annotation requests a fence there. *)
+
+val of_string : string -> t option

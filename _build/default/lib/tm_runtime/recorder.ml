@@ -1,0 +1,61 @@
+open Tm_model
+
+type t = {
+  mutex : Mutex.t;
+  mutable rev : Action.t list;
+  mutable next_id : int;
+  value_counter : int Atomic.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    rev = [];
+    next_id = 0;
+    value_counter = Atomic.make 1;
+  }
+
+let push t thread kind =
+  t.rev <- { Action.id = t.next_id; Action.thread; Action.kind } :: t.rev;
+  t.next_id <- t.next_id + 1
+
+let log t ~thread kind =
+  Mutex.lock t.mutex;
+  push t thread kind;
+  Mutex.unlock t.mutex
+
+let log2 t ~thread k1 k2 =
+  Mutex.lock t.mutex;
+  push t thread k1;
+  push t thread k2;
+  Mutex.unlock t.mutex
+
+let critical t ~thread f =
+  Mutex.lock t.mutex;
+  match f (fun kind -> push t thread kind) with
+  | result ->
+      Mutex.unlock t.mutex;
+      result
+  | exception e ->
+      Mutex.unlock t.mutex;
+      raise e
+
+let fresh_value t = Atomic.fetch_and_add t.value_counter 1
+
+let history t =
+  Mutex.lock t.mutex;
+  let h = History.of_list (List.rev t.rev) in
+  Mutex.unlock t.mutex;
+  h
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = t.next_id in
+  Mutex.unlock t.mutex;
+  n
+
+let clear t =
+  Mutex.lock t.mutex;
+  t.rev <- [];
+  t.next_id <- 0;
+  Mutex.unlock t.mutex

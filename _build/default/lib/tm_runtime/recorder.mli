@@ -1,0 +1,47 @@
+(** Runtime history recorder.
+
+    Concurrent TM operations log their TM interface actions here; the
+    log order (a global sequence protected by a mutex) is the
+    linearization that becomes the recorded {!Tm_model.History.t}.
+
+    Two invariants keep recorded histories faithful enough for the
+    checkers:
+
+    - non-transactional accesses perform their single atomic memory
+      operation {e inside} the recorder's critical section, together
+      with both of their actions, so they are adjacent in the history
+      (Definition A.1, condition 7) and every read-from edge points
+      forward;
+    - TM implementations log a transaction's completion {e before}
+      clearing the flag a fence waits on, so recorded fences satisfy
+      condition 10.
+
+    Recording serializes log appends but not the TM's own memory
+    accesses; benchmarks run without a recorder and pay nothing. *)
+
+open Tm_model
+
+type t
+
+val create : unit -> t
+
+val log : t -> thread:Types.thread_id -> Action.kind -> unit
+(** Append one action with the next stamp. *)
+
+val log2 : t -> thread:Types.thread_id -> Action.kind -> Action.kind -> unit
+(** Append two actions atomically (adjacent stamps). *)
+
+val critical : t -> thread:Types.thread_id -> ((Action.kind -> unit) -> 'a) -> 'a
+(** [critical t ~thread f] runs [f push] inside the recorder's critical
+    section; [push] appends actions for [thread].  Non-transactional
+    accesses perform their memory operation and push both of their
+    actions in one call, making them atomic in the recorded history. *)
+
+val fresh_value : t -> Types.value
+(** A process-unique value for workloads that need unique writes. *)
+
+val history : t -> History.t
+(** Snapshot of the recorded history so far. *)
+
+val length : t -> int
+val clear : t -> unit

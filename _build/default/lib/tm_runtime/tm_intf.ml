@@ -1,0 +1,57 @@
+(** The interface every runtime TM implementation provides, mirroring
+    the TM interface actions of §2.2 (Figure 4): transactional begin /
+    read / write / commit, uninstrumented non-transactional accesses,
+    and the transactional fence.
+
+    Transactional operations may raise {!Abort} at any point while the
+    TM is in control; non-transactional accesses never abort.  Thread
+    identities are small integers assigned by the caller (one per
+    domain). *)
+
+exception Abort
+(** Raised by [read]/[write]/[commit] when the TM aborts the current
+    transaction.  The TM runs its abort handler (logging the [aborted]
+    response and clearing the fence flag) {e before} raising; the
+    transaction's effects are discarded and the caller may retry. *)
+
+module type S = sig
+  type t
+  (** A TM instance managing a fixed collection of registers. *)
+
+  type txn
+  (** Per-transaction descriptor. *)
+
+  val name : string
+
+  val create : ?recorder:Recorder.t -> nregs:int -> nthreads:int -> unit -> t
+  (** Fresh instance with all registers at [vinit].  When [recorder] is
+      given, every TM interface action is logged to it. *)
+
+  val txn_begin : t -> thread:int -> txn
+
+  val read : t -> txn -> Tm_model.Types.reg -> Tm_model.Types.value
+  (** May raise {!Abort}. *)
+
+  val write : t -> txn -> Tm_model.Types.reg -> Tm_model.Types.value -> unit
+  (** May raise {!Abort}. *)
+
+  val commit : t -> txn -> unit
+  (** May raise {!Abort}. *)
+
+  val abort : t -> txn -> unit
+  (** Explicitly abandon a transaction that has not yet raised
+      {!Abort}: runs the abort handler (logs the [aborted] response,
+      clears the fence flag).  Must not be called after an operation
+      already raised {!Abort}. *)
+
+  val read_nt : t -> thread:int -> Tm_model.Types.reg -> Tm_model.Types.value
+  (** Uninstrumented non-transactional read (a single atomic load). *)
+
+  val write_nt :
+    t -> thread:int -> Tm_model.Types.reg -> Tm_model.Types.value -> unit
+  (** Uninstrumented non-transactional write (a single atomic store). *)
+
+  val fence : t -> thread:int -> unit
+  (** Transactional fence: blocks until every transaction active at the
+      time of the call has committed or aborted (§1). *)
+end

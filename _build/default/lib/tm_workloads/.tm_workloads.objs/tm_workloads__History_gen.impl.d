@@ -1,0 +1,1 @@
+lib/tm_workloads/history_gen.ml: Action Array Builder Hashtbl History List Random Tm_atomic Tm_model Types

@@ -1,0 +1,1 @@
+lib/tm_workloads/history_gen.mli: History Tm_model

@@ -1,0 +1,1 @@
+lib/tm_workloads/kernels.ml: Array Atomic Atomic_block Domain Fence_policy Format Random Tm_intf Tm_runtime Unix

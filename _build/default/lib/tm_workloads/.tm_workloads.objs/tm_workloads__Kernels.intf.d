@@ -1,0 +1,1 @@
+lib/tm_workloads/kernels.mli: Format Random Tm_runtime

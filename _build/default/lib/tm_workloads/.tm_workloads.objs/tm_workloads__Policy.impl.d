@@ -1,0 +1,1 @@
+lib/tm_workloads/policy.ml: Array Ast Fence_policy Tm_lang Tm_runtime

@@ -1,0 +1,1 @@
+lib/tm_workloads/policy.mli: Ast Tm_lang Tm_runtime

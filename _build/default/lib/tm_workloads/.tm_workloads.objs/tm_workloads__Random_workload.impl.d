@@ -1,0 +1,1 @@
+lib/tm_workloads/random_workload.ml: Array Domain Format Random Recorder Tl2 Tm_intf Tm_opacity Tm_relations Tm_runtime

@@ -1,0 +1,1 @@
+lib/tm_workloads/random_workload.mli: Format History Tl2 Tm_model

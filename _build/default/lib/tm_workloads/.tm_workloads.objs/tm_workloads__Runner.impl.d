@@ -1,0 +1,1 @@
+lib/tm_workloads/runner.ml: Array Ast Domain Figures Fun List Policy Tm_lang Tm_runtime

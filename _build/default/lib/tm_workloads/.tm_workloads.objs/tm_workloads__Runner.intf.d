@@ -1,0 +1,1 @@
+lib/tm_workloads/runner.mli: Ast Figures Tm_lang Tm_model Tm_runtime

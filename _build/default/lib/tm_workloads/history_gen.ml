@@ -1,0 +1,130 @@
+open Tm_model
+
+(* Per-thread generator state. *)
+type tstate = {
+  mutable open_txn : bool;
+  mutable accesses_in_txn : int;
+  mutable stopped : bool;  (** left commit-pending; no further actions *)
+}
+
+let generate ?(seed = 0) ?(threads = 2) ?(registers = 2) ?(steps = 5)
+    ?(noise = 0.2) () =
+  let rng = Random.State.make [| 0x5afe; seed |] in
+  let b = Builder.create () in
+  let replay = Tm_atomic.Atomic_tm.Replay.create () in
+  let written : (Types.reg, Types.value list) Hashtbl.t = Hashtbl.create 8 in
+  let ts = Array.init threads (fun _ ->
+      { open_txn = false; accesses_in_txn = 0; stopped = false })
+  in
+  (* A fence is only emitted when no transaction is open and none was
+     left commit-pending: those would have to complete before the
+     fence's end for the history to be well-formed (Def A.1, cond 10). *)
+  let any_open () = Array.exists (fun s -> s.open_txn || s.stopped) ts in
+  let log_write x v =
+    Hashtbl.replace written x
+      (v :: (match Hashtbl.find_opt written x with Some l -> l | None -> []))
+  in
+  let read_value t x =
+    let correct = Tm_atomic.Atomic_tm.Replay.read_value replay t x in
+    if Random.State.float rng 1.0 < noise then
+      (* stale or speculative value: any value ever written to x, or
+         vinit *)
+      match Hashtbl.find_opt written x with
+      | Some (_ :: _ as vs) ->
+          List.nth vs (Random.State.int rng (List.length vs))
+      | _ -> Types.v_init
+    else correct
+  in
+  let step_replay kind t = Tm_atomic.Atomic_tm.Replay.step replay
+      { Action.id = 0; Action.thread = t; Action.kind }
+  in
+  (* Each generator step emits one unit for one runnable thread. *)
+  let units = 3 * steps in
+  for _ = 1 to units do
+    let candidates =
+      List.filter (fun t -> not ts.(t).stopped)
+        (List.init threads (fun t -> t))
+    in
+    match candidates with
+    | [] -> ()
+    | _ ->
+        let t = List.nth candidates (Random.State.int rng (List.length candidates)) in
+        let st = ts.(t) in
+        let x = Random.State.int rng registers in
+        if st.open_txn then begin
+          (* continue or end the transaction *)
+          if st.accesses_in_txn > 0 && Random.State.int rng 3 = 0 then begin
+            match Random.State.int rng 4 with
+            | 0 ->
+                Builder.abort_commit b t;
+                step_replay (Action.Response Action.Aborted) t;
+                st.open_txn <- false
+            | 1 ->
+                (* leave commit-pending; the thread stops *)
+                Builder.request b t Action.Txcommit;
+                st.open_txn <- false;
+                st.stopped <- true
+            | _ ->
+                Builder.commit b t;
+                step_replay (Action.Response Action.Committed) t;
+                st.open_txn <- false
+          end
+          else begin
+            (if Random.State.bool rng then begin
+               let v = read_value t x in
+               Builder.read b t x v
+             end
+             else begin
+               let v = Builder.fresh_value b in
+               Builder.write b t x v;
+               step_replay (Action.Request (Action.Write (x, v))) t;
+               log_write x v
+             end);
+            st.accesses_in_txn <- st.accesses_in_txn + 1
+          end
+        end
+        else begin
+          match Random.State.int rng 5 with
+          | 0 ->
+              Builder.txbegin b t;
+              step_replay (Action.Request Action.Txbegin) t;
+              st.open_txn <- true;
+              st.accesses_in_txn <- 0
+          | 1 when not (any_open ()) ->
+              (* fences may not overlap open transactions in a
+                 well-formed history we build left to right *)
+              Builder.fence b t
+          | 2 ->
+              let v = read_value t x in
+              Builder.read b t x v
+          | _ ->
+              let v = Builder.fresh_value b in
+              Builder.write b t x v;
+              step_replay (Action.Request (Action.Write (x, v))) t;
+              log_write x v
+        end
+  done;
+  (* close remaining open transactions so that histories do not end on
+     half-open interleavings too often; leave some live *)
+  Array.iteri
+    (fun t st ->
+      if st.open_txn && Random.State.bool rng then begin
+        Builder.commit b t;
+        step_replay (Action.Response Action.Committed) t;
+        st.open_txn <- false
+      end)
+    ts;
+  Builder.history b
+
+let node_count h =
+  let info = History.analyze h in
+  let fences =
+    Array.fold_left
+      (fun acc (a : Action.t) ->
+        match a.Action.kind with
+        | Action.Request Action.Fbegin | Action.Response Action.Fend ->
+            acc + 1
+        | _ -> acc)
+      0 h
+  in
+  Array.length info.History.txns + Array.length info.History.accesses + fences

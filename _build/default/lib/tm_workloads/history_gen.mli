@@ -1,0 +1,27 @@
+(** Random small well-formed histories for cross-validating the
+    strong-opacity checkers (experiment E9) and for property tests.
+
+    The generator interleaves whole transactions, non-transactional
+    accesses and fences from a handful of threads.  Read values are
+    drawn either from the "correct" atomic replay (producing histories
+    likely in [H_atomic]'s closure) or, with probability [noise], from
+    stale/garbage values (producing histories likely rejected) — so
+    both checker answers get exercised. *)
+
+open Tm_model
+
+val generate :
+  ?seed:int ->
+  ?threads:int ->
+  ?registers:int ->
+  ?steps:int ->
+  ?noise:float ->
+  unit ->
+  History.t
+(** A random well-formed history with at most [steps] top-level units
+    (default 5), [threads] (default 2), [registers] (default 2),
+    [noise] (default 0.2). *)
+
+val node_count : History.t -> int
+(** Transactions + non-transactional accesses + fence actions — the
+    size bound that matters for the exhaustive oracle. *)

@@ -1,0 +1,334 @@
+open Tm_runtime
+
+module Make (T : Tm_intf.S) = struct
+  module AB = Atomic_block.Make (T)
+
+  type stats = {
+    ops : int;
+    retries : int;
+    fences : int;
+    seconds : float;
+    throughput : float;
+  }
+
+  let pp_stats ppf s =
+    Format.fprintf ppf
+      "%d ops in %.3fs (%.0f ops/s), %d retries, %d fences" s.ops s.seconds
+      s.throughput s.retries s.fences
+
+  type kernel = {
+    name : string;
+    nregs : int;
+    prepare : T.t -> unit;
+    op :
+      T.t ->
+      thread:int ->
+      i:int ->
+      rng:Random.State.t ->
+      [ `Read_only | `Update ] * bool * int;
+  }
+
+  (* ----------------------------- counter --------------------------- *)
+
+  let counter ~contended =
+    let nctrs = if contended then 1 else 64 in
+    {
+      name = (if contended then "counter/contended" else "counter/padded");
+      nregs = nctrs;
+      prepare = (fun _ -> ());
+      op =
+        (fun tm ~thread ~i ~rng ->
+          let c = if contended then 0 else Random.State.int rng nctrs in
+          let (), retries =
+            AB.run tm ~thread (fun txn ->
+                let v = T.read tm txn c in
+                T.write tm txn c (v + 1))
+          in
+          (`Update, i mod 64 = 63, retries));
+    }
+
+  (* ------------------------------ bank ----------------------------- *)
+
+  let bank ~accounts =
+    {
+      name = "bank";
+      nregs = accounts;
+      prepare =
+        (fun tm ->
+          for a = 0 to accounts - 1 do
+            T.write_nt tm ~thread:0 a 100
+          done);
+      op =
+        (fun tm ~thread ~i ~rng ->
+          if i mod 16 = 15 then begin
+            (* read-only audit over a sample of accounts *)
+            let (_ : int), retries =
+              AB.run tm ~thread (fun txn ->
+                  let total = ref 0 in
+                  for k = 0 to 7 do
+                    let a = (k * accounts / 8) mod accounts in
+                    total := !total + T.read tm txn a
+                  done;
+                  !total)
+            in
+            (`Read_only, false, retries)
+          end
+          else begin
+            let a = Random.State.int rng accounts in
+            let b = Random.State.int rng accounts in
+            let (), retries =
+              AB.run tm ~thread (fun txn ->
+                  if a <> b then begin
+                    let va = T.read tm txn a in
+                    let vb = T.read tm txn b in
+                    T.write tm txn a (va - 1);
+                    T.write tm txn b (vb + 1)
+                  end)
+            in
+            (`Update, i mod 64 = 63, retries)
+          end);
+    }
+
+  (* --------------------------- sorted list -------------------------- *)
+  (* Layout: register 0 is the head pointer; node n (1-based) stores
+     key at 3n-2, value at 3n-1, next at 3n.  Null is 0. *)
+
+  let key_of n = (3 * n) - 2
+  let value_of n = (3 * n) - 1
+  let next_of n = 3 * n
+
+  let sorted_list ~size =
+    let nregs = (3 * size) + 1 in
+    {
+      name = "sorted-list";
+      nregs;
+      prepare =
+        (fun tm ->
+          (* nodes 1..size with keys 2,4,6,..., linked in order *)
+          T.write_nt tm ~thread:0 0 1;
+          for n = 1 to size do
+            T.write_nt tm ~thread:0 (key_of n) (2 * n);
+            T.write_nt tm ~thread:0 (value_of n) 0;
+            T.write_nt tm ~thread:0 (next_of n)
+              (if n = size then 0 else n + 1)
+          done);
+      op =
+        (fun tm ~thread ~i ~rng ->
+          let target = 2 * (1 + Random.State.int rng size) in
+          let find txn =
+            let rec go node =
+              if node = 0 then 0
+              else
+                let k = T.read tm txn (key_of node) in
+                if k >= target then node else go (T.read tm txn (next_of node))
+            in
+            go (T.read tm txn 0)
+          in
+          if Random.State.int rng 10 < 8 then begin
+            (* lookup (read-only) *)
+            let (_ : int), retries =
+              AB.run tm ~thread (fun txn ->
+                  let node = find txn in
+                  if node = 0 then 0 else T.read tm txn (value_of node))
+            in
+            (`Read_only, false, retries)
+          end
+          else begin
+            (* update the value field of the found node *)
+            let (), retries =
+              AB.run tm ~thread (fun txn ->
+                  let node = find txn in
+                  if node <> 0 then begin
+                    let v = T.read tm txn (value_of node) in
+                    T.write tm txn (value_of node) (v + 1)
+                  end)
+            in
+            (`Update, i mod 64 = 63, retries)
+          end);
+    }
+
+  (* ------------------------------ swap ------------------------------ *)
+
+  let swap ~width ~blocks =
+    {
+      name = "swap";
+      nregs = width * blocks;
+      prepare =
+        (fun tm ->
+          for r = 0 to (width * blocks) - 1 do
+            T.write_nt tm ~thread:0 r r
+          done);
+      op =
+        (fun tm ~thread ~i ~rng ->
+          let a = Random.State.int rng blocks in
+          let b = Random.State.int rng blocks in
+          let (), retries =
+            AB.run tm ~thread (fun txn ->
+                if a <> b then
+                  for k = 0 to width - 1 do
+                    let ra = (a * width) + k and rb = (b * width) + k in
+                    let va = T.read tm txn ra in
+                    let vb = T.read tm txn rb in
+                    T.write tm txn ra vb;
+                    T.write tm txn rb va
+                  done)
+          in
+          (`Update, i mod 64 = 63, retries));
+    }
+
+  (* --------------------------- reservation --------------------------- *)
+  (* A vacation-style kernel: resources with capacities, customers with
+     a bounded number of bookings.  A booking transaction reads several
+     resource capacities, picks one with space, and books it while
+     recording it in the customer's slot table.  Read-mostly with
+     moderate write sets. *)
+
+  let reservation ~resources ~customers =
+    let slots_per_customer = 4 in
+    let cap_base = 0 in
+    let slot_base = resources in
+    let nregs = resources + (customers * slots_per_customer) in
+    {
+      name = "reservation";
+      nregs;
+      prepare =
+        (fun tm ->
+          for r = 0 to resources - 1 do
+            T.write_nt tm ~thread:0 (cap_base + r) 8
+          done);
+      op =
+        (fun tm ~thread ~i ~rng ->
+          let customer = Random.State.int rng customers in
+          if i mod 8 = 7 then begin
+            (* read-only: audit a customer's bookings *)
+            let (_ : int), retries =
+              AB.run tm ~thread (fun txn ->
+                  let total = ref 0 in
+                  for s = 0 to slots_per_customer - 1 do
+                    total :=
+                      !total
+                      + T.read tm txn
+                          (slot_base + (customer * slots_per_customer) + s)
+                  done;
+                  !total)
+            in
+            (`Read_only, false, retries)
+          end
+          else begin
+            let (), retries =
+              AB.run tm ~thread (fun txn ->
+                  (* scan a window of resources for capacity *)
+                  let start = Random.State.int rng resources in
+                  let chosen = ref (-1) in
+                  for k = 0 to 3 do
+                    let r = (start + k) mod resources in
+                    if !chosen < 0 && T.read tm txn (cap_base + r) > 0 then
+                      chosen := r
+                  done;
+                  match !chosen with
+                  | -1 -> ()
+                  | r ->
+                      let cap = T.read tm txn (cap_base + r) in
+                      T.write tm txn (cap_base + r) (cap - 1);
+                      let slot =
+                        slot_base + (customer * slots_per_customer)
+                        + Random.State.int rng slots_per_customer
+                      in
+                      (* release any previous booking in that slot *)
+                      let prev = T.read tm txn slot in
+                      if prev > 0 then begin
+                        let pcap = T.read tm txn (cap_base + prev - 1) in
+                        T.write tm txn (cap_base + prev - 1) (pcap + 1)
+                      end;
+                      T.write tm txn slot (r + 1))
+            in
+            (`Update, i mod 64 = 63, retries)
+          end);
+    }
+
+  (* ---------------------------- labyrinth ---------------------------- *)
+  (* A labyrinth-style kernel: route short paths through a shared grid,
+     claiming cells transactionally.  Transactions have medium-sized
+     write sets and conflict when routes cross. *)
+
+  let labyrinth ~dim =
+    let nregs = dim * dim in
+    {
+      name = "labyrinth";
+      nregs;
+      prepare = (fun _ -> ());
+      op =
+        (fun tm ~thread ~i ~rng ->
+          let x0 = Random.State.int rng dim
+          and y0 = Random.State.int rng dim in
+          let len = 4 + Random.State.int rng 4 in
+          let (), retries =
+            AB.run tm ~thread (fun txn ->
+                (* walk an L-shaped route, claiming free cells *)
+                let claim cx cy =
+                  let cell = (cy * dim) + cx in
+                  if T.read tm txn cell = 0 then
+                    T.write tm txn cell (1 + thread)
+                in
+                for k = 0 to len - 1 do
+                  let cx = min (dim - 1) (x0 + k) in
+                  claim cx y0
+                done;
+                for k = 0 to (len / 2) - 1 do
+                  let cy = min (dim - 1) (y0 + k) in
+                  claim (min (dim - 1) (x0 + len - 1)) cy
+                done)
+          in
+          (`Update, i mod 64 = 63, retries));
+    }
+
+  (* ----------------------------- driver ----------------------------- *)
+
+  let run tm kernel ~threads ~ops_per_thread ~policy ~seed =
+    kernel.prepare tm;
+    let retries = Atomic.make 0 in
+    let fences = Atomic.make 0 in
+    let barrier = Atomic.make 0 in
+    let worker thread =
+      let rng = Random.State.make [| seed; thread |] in
+      (* crude barrier so threads start together *)
+      Atomic.incr barrier;
+      while Atomic.get barrier < threads do
+        Domain.cpu_relax ()
+      done;
+      for i = 0 to ops_per_thread - 1 do
+        let status, requested, op_retries = kernel.op tm ~thread ~i ~rng in
+        (if op_retries > 0 then
+           ignore (Atomic.fetch_and_add retries op_retries));
+        let read_only = status = `Read_only in
+        if Fence_policy.fence_after_txn policy ~read_only ~requested then begin
+          T.fence tm ~thread;
+          Atomic.incr fences
+        end
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      Array.init threads (fun thread -> Domain.spawn (fun () -> worker thread))
+    in
+    Array.iter Domain.join domains;
+    let seconds = Unix.gettimeofday () -. t0 in
+    let ops = threads * ops_per_thread in
+    {
+      ops;
+      retries = Atomic.get retries;
+      fences = Atomic.get fences;
+      seconds;
+      throughput = float_of_int ops /. seconds;
+    }
+
+  let default_kernels () =
+    [
+      counter ~contended:false;
+      bank ~accounts:256;
+      sorted_list ~size:48;
+      swap ~width:64 ~blocks:8;
+      reservation ~resources:64 ~customers:32;
+      labyrinth ~dim:32;
+    ]
+end

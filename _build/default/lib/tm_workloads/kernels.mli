@@ -1,0 +1,75 @@
+(** Transactional workload kernels: the STAMP-stand-ins used by the
+    fence-overhead experiment (E6, reproducing the shape of Yoo et
+    al. [42]) and the scalability experiment (E10).
+
+    Each kernel runs a fixed number of operations per thread; every
+    operation is one (retried-until-commit) transaction, optionally
+    followed by a transactional fence according to the fence policy.
+    Operations flagged [requested] model programmer privatization
+    annotations: the [Selective] policy fences exactly there. *)
+
+module Make (T : Tm_runtime.Tm_intf.S) : sig
+  type stats = {
+    ops : int;  (** committed operations across all threads *)
+    retries : int;  (** aborted attempts *)
+    fences : int;  (** fences executed *)
+    seconds : float;
+    throughput : float;  (** ops per second *)
+  }
+
+  val pp_stats : Format.formatter -> stats -> unit
+
+  type kernel = {
+    name : string;
+    nregs : int;  (** registers the kernel needs *)
+    prepare : T.t -> unit;  (** sequential initialization *)
+    op :
+      T.t ->
+      thread:int ->
+      i:int ->
+      rng:Random.State.t ->
+      [ `Read_only | `Update ] * bool * int;
+        (** run one operation; returns its read-only status, whether a
+            selective fence is requested after it, and how many aborted
+            attempts the operation's retry loop made *)
+  }
+
+  val counter : contended:bool -> kernel
+  (** Fetch-and-increment of one of several counters; [contended]
+      shares a single counter among all threads. *)
+
+  val bank : accounts:int -> kernel
+  (** Random transfers between accounts with a read-only audit every
+      16th operation; a privatization annotation every 64th. *)
+
+  val sorted_list : size:int -> kernel
+  (** Traversal-heavy operations over a sorted singly-linked list laid
+      out in registers: 80% read-only lookups, 20% value updates. *)
+
+  val swap : width:int -> blocks:int -> kernel
+  (** Long transactions: swap two register blocks of [width] cells —
+      the worst case for conservative fencing, since fences must wait
+      out long write-backs. *)
+
+  val reservation : resources:int -> customers:int -> kernel
+  (** Vacation-style bookings: scan resources for capacity, book one
+      into a customer slot, release displaced bookings; read-only
+      audits every 8th operation. *)
+
+  val labyrinth : dim:int -> kernel
+  (** Labyrinth-style routing: claim L-shaped paths of cells in a
+      shared [dim × dim] grid; conflicts where routes cross. *)
+
+  val run :
+    T.t ->
+    kernel ->
+    threads:int ->
+    ops_per_thread:int ->
+    policy:Tm_runtime.Fence_policy.t ->
+    seed:int ->
+    stats
+  (** Drive a kernel on its TM instance. *)
+
+  val default_kernels : unit -> kernel list
+  (** The four kernels with the parameters used by experiment E6. *)
+end

@@ -1,0 +1,51 @@
+open Tm_lang
+open Tm_runtime
+
+let rec strip_fences = function
+  | Ast.Fence -> Ast.Skip
+  | Ast.Seq (a, b) -> Ast.Seq (strip_fences a, strip_fences b)
+  | Ast.If (e, a, b) -> Ast.If (e, strip_fences a, strip_fences b)
+  | Ast.While (e, c) -> Ast.While (e, strip_fences c)
+  | (Ast.Skip | Ast.Assign _ | Ast.Atomic _ | Ast.Read _ | Ast.Write _) as c
+    ->
+      c
+
+let rec is_statically_read_only = function
+  | Ast.Write _ -> false
+  | Ast.Seq (a, b) | Ast.If (_, a, b) ->
+      is_statically_read_only a && is_statically_read_only b
+  | Ast.While (_, c) -> is_statically_read_only c
+  | Ast.Atomic (_, c) -> is_statically_read_only c
+  | Ast.Skip | Ast.Assign _ | Ast.Read _ | Ast.Fence -> true
+
+let rec fence_after_atomics ~skip_read_only = function
+  | Ast.Atomic (_, body) as c ->
+      if skip_read_only && is_statically_read_only body then c
+      else Ast.Seq (c, Ast.Fence)
+  | Ast.Seq (a, b) ->
+      Ast.Seq
+        ( fence_after_atomics ~skip_read_only a,
+          fence_after_atomics ~skip_read_only b )
+  | Ast.If (e, a, b) ->
+      Ast.If
+        ( e,
+          fence_after_atomics ~skip_read_only a,
+          fence_after_atomics ~skip_read_only b )
+  | Ast.While (e, c) -> Ast.While (e, fence_after_atomics ~skip_read_only c)
+  | (Ast.Skip | Ast.Assign _ | Ast.Read _ | Ast.Write _ | Ast.Fence) as c ->
+      c
+
+let apply policy (p : Ast.program) : Ast.program =
+  let rewrite c =
+    match policy with
+    | Fence_policy.Selective -> c
+    | Fence_policy.No_fences -> strip_fences c
+    | Fence_policy.Conservative ->
+        fence_after_atomics ~skip_read_only:false (strip_fences c)
+    | Fence_policy.Skip_read_only ->
+        (* the program keeps its annotated fences; the runner elides
+           those following a dynamically read-only transaction, like
+           the buggy GCC libitm runtime *)
+        c
+  in
+  Array.map rewrite p

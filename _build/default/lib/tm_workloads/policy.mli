@@ -1,0 +1,26 @@
+(** Applying a fence-placement policy to a program of the language.
+
+    The input program carries the {e programmer's} (selective) fence
+    annotations; a policy rewrites them: stripping all fences, keeping
+    them, fencing conservatively after every atomic block, or fencing
+    after every non-read-only atomic block (the buggy GCC placement —
+    read-only-ness is judged statically, as a compiler would). *)
+
+open Tm_lang
+
+val strip_fences : Ast.com -> Ast.com
+(** Remove every [fence] command. *)
+
+val is_statically_read_only : Ast.com -> bool
+(** No [Write] occurs syntactically in the command — the approximation
+    a compiler uses to classify a transaction as read-only. *)
+
+val fence_after_atomics : skip_read_only:bool -> Ast.com -> Ast.com
+(** Insert [fence] after every atomic block (except, when
+    [skip_read_only], after blocks that are statically read-only). *)
+
+val apply : Tm_runtime.Fence_policy.t -> Ast.program -> Ast.program
+(** Rewrite a whole program under a policy.  [Skip_read_only] leaves
+    the program unchanged: the GCC bug it models elided fences at
+    {e runtime} after dynamically read-only transactions, which
+    [Runner] reproduces when given that policy. *)

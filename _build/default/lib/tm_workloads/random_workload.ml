@@ -1,0 +1,114 @@
+open Tm_runtime
+
+type verdict = Ok_opaque | Racy | Not_opaque of string
+
+let pp_verdict ppf = function
+  | Ok_opaque -> Format.fprintf ppf "ok (DRF + strongly opaque)"
+  | Racy -> Format.fprintf ppf "racy"
+  | Not_opaque msg -> Format.fprintf ppf "not opaque: %s" msg
+
+(* Register map: 0 is the privatized register, 1..5 always-shared data,
+   6 the privatization flag. *)
+let priv_reg = 0
+let nshared = 5
+let flag_reg = 6
+let nregs = 7
+
+let worker_txn tm rec_ txn rng ~txn_spin =
+  let f = Tl2.read tm txn flag_reg in
+  (* a read-modify-write of one shared register (the lost-update shape
+     that commit-time validation exists to prevent), plus extra random
+     accesses *)
+  let r = 1 + Random.State.int rng nshared in
+  ignore (Tl2.read tm txn r);
+  for _ = 1 to txn_spin do
+    Domain.cpu_relax ()
+  done;
+  Tl2.write tm txn r (Recorder.fresh_value rec_);
+  for _ = 1 to Random.State.int rng 2 do
+    let x = 1 + Random.State.int rng nshared in
+    if Random.State.bool rng then ignore (Tl2.read tm txn x)
+    else Tl2.write tm txn x (Recorder.fresh_value rec_)
+  done;
+  (* The guarded register: only when not privatized.  The flag starts
+     at vinit = 0; privatizing writes a fresh positive value and
+     publishing back a fresh negative one (a 0 write would collide with
+     vinit-uniqueness), so "privatized" is [flag > 0]. *)
+  if f <= 0 && Random.State.bool rng then
+    if Random.State.bool rng then ignore (Tl2.read tm txn priv_reg)
+    else Tl2.write tm txn priv_reg (Recorder.fresh_value rec_)
+
+let generate ?(variant = Tl2.Normal) ?(commit_delay = 0) ?(txn_spin = 0)
+    ?(seed = 42) ?(threads = 3) ?(txns_per_thread = 12) () =
+  let rec_ = Recorder.create () in
+  let tm =
+    Tl2.create_with ~recorder:rec_ ~variant ~commit_delay ~nregs
+      ~nthreads:threads ()
+  in
+  let worker thread () =
+    let rng = Random.State.make [| seed; thread |] in
+    for i = 0 to txns_per_thread - 1 do
+      if thread = 0 && i mod 4 = 3 then begin
+        (* privatize / modify non-transactionally / publish *)
+        let privatized =
+          match
+            (let txn = Tl2.txn_begin tm ~thread in
+             Tl2.write tm txn flag_reg (Recorder.fresh_value rec_);
+             Tl2.commit tm txn)
+          with
+          | () -> true
+          | exception Tm_intf.Abort -> false
+        in
+        if privatized then begin
+          Tl2.fence tm ~thread;
+          ignore (Tl2.read_nt tm ~thread priv_reg);
+          Tl2.write_nt tm ~thread priv_reg (Recorder.fresh_value rec_);
+          (* publish back: clear the flag transactionally (with a fresh
+             negative value, see the encoding note in [worker_txn]) *)
+          let rec publish () =
+            let txn = Tl2.txn_begin tm ~thread in
+            match
+              Tl2.write tm txn flag_reg (-Recorder.fresh_value rec_);
+              Tl2.commit tm txn
+            with
+            | () -> ()
+            | exception Tm_intf.Abort -> publish ()
+          in
+          publish ()
+        end
+      end
+      else begin
+        let txn = Tl2.txn_begin tm ~thread in
+        match
+          worker_txn tm rec_ txn rng ~txn_spin;
+          Tl2.commit tm txn
+        with
+        | () -> ()
+        | exception Tm_intf.Abort -> ()
+      end
+    done
+  in
+  let domains =
+    Array.init threads (fun thread -> Domain.spawn (worker thread))
+  in
+  Array.iter Domain.join domains;
+  Recorder.history rec_
+
+let check_history h =
+  let rels = Tm_relations.Relations.of_history h in
+  if not (Tm_relations.Race.is_drf rels) then Racy
+  else
+    match Tm_opacity.Checker.check ~exhaustive_limit:200 h with
+    | Tm_opacity.Checker.Opaque _ -> Ok_opaque
+    | v -> Not_opaque (Format.asprintf "%a" Tm_opacity.Checker.pp_verdict v)
+
+let anomaly_rate ?variant ?commit_delay ?txn_spin ~runs () =
+  let ok = ref 0 and racy = ref 0 and cyclic = ref 0 in
+  for seed = 1 to runs do
+    let h = generate ?variant ?commit_delay ?txn_spin ~seed () in
+    match check_history h with
+    | Ok_opaque -> incr ok
+    | Racy -> incr racy
+    | Not_opaque _ -> incr cyclic
+  done;
+  (!ok, !racy, !cyclic)

@@ -1,0 +1,44 @@
+(** Random concurrent workloads with recorded histories (experiment
+    E8).
+
+    The workload follows the paper's programming discipline, so every
+    execution is DRF by construction: shared registers are accessed
+    transactionally; one register is periodically privatized by thread
+    0 (flag transaction + fence), accessed non-transactionally, and
+    published back (the "privatize, modify non-transactionally,
+    publish" idiom of §2.2).  Writes use process-unique values so the
+    recorded histories satisfy the unique-writes assumption.
+
+    Running the same workload on fault-injected TL2 variants produces
+    anomalous histories — racy or non-strongly-opaque — that the
+    checkers catch, validating both directions of §7's claim. *)
+
+open Tm_model
+
+type verdict =
+  | Ok_opaque  (** DRF and strongly opaque *)
+  | Racy  (** the recorded history has a data race *)
+  | Not_opaque of string  (** DRF but fails the strong-opacity check *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val generate :
+  ?variant:Tl2.variant ->
+  ?commit_delay:int ->
+  ?txn_spin:int ->
+  ?seed:int ->
+  ?threads:int ->
+  ?txns_per_thread:int ->
+  unit ->
+  History.t
+(** Run the workload on a fresh recorded TL2 instance and return the
+    recorded history. *)
+
+val check_history : History.t -> verdict
+(** Classify a recorded history with the DRF and strong-opacity
+    checkers. *)
+
+val anomaly_rate :
+  ?variant:Tl2.variant -> ?commit_delay:int -> ?txn_spin:int -> runs:int ->
+  unit -> int * int * int
+(** [(ok, racy, not_opaque)] counts over [runs] random seeds. *)

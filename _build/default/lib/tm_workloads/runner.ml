@@ -1,0 +1,160 @@
+open Tm_lang
+
+type result = { r_envs : Ast.env array; r_diverged : bool array }
+
+exception Txn_diverged
+
+module Make (T : Tm_runtime.Tm_intf.S) = struct
+  (* Interpret one thread's command against the TM.  [elide_ro_fences]
+     reproduces the buggy GCC libitm behaviour: a fence is skipped at
+     runtime when the thread's most recent transaction was dynamically
+     read-only. *)
+  let exec_thread ~elide_ro_fences tm thread com fuel =
+    let fuel = ref fuel in
+    let diverged = ref false in
+    let last_txn_read_only = ref false in
+    let wrote_in_txn = ref false in
+    let tick () =
+      if !fuel <= 0 then raise Txn_diverged;
+      decr fuel
+    in
+    (* Transactional interpretation: TM accesses go through [txn]. *)
+    let rec go_txn txn env cont =
+      match cont with
+      | [] -> env
+      | com :: rest -> (
+          tick ();
+          match com with
+          | Ast.Skip -> go_txn txn env rest
+          | Ast.Assign (l, e) ->
+              go_txn txn (Ast.bind env l (Ast.eval env e)) rest
+          | Ast.Seq (a, b) -> go_txn txn env (a :: b :: rest)
+          | Ast.If (b, c1, c2) ->
+              go_txn txn env
+                ((if Ast.truthy (Ast.eval env b) then c1 else c2) :: rest)
+          | Ast.While (b, c) ->
+              if Ast.truthy (Ast.eval env b) then
+                go_txn txn env (c :: com :: rest)
+              else go_txn txn env rest
+          | Ast.Read (l, x) ->
+              go_txn txn (Ast.bind env l (T.read tm txn x)) rest
+          | Ast.Write (x, e) ->
+              T.write tm txn x (Ast.eval env e);
+              wrote_in_txn := true;
+              go_txn txn env rest
+          | Ast.Atomic _ -> invalid_arg "nested atomic block"
+          | Ast.Fence -> invalid_arg "fence inside a transaction")
+    in
+    let rec go env cont =
+      match cont with
+      | [] -> env
+      | com :: rest -> (
+          match com with
+          | Ast.Skip ->
+              tick ();
+              go env rest
+          | Ast.Assign (l, e) ->
+              tick ();
+              go (Ast.bind env l (Ast.eval env e)) rest
+          | Ast.Seq (a, b) -> go env (a :: b :: rest)
+          | Ast.If (b, c1, c2) ->
+              tick ();
+              go env
+                ((if Ast.truthy (Ast.eval env b) then c1 else c2) :: rest)
+          | Ast.While (b, c) ->
+              tick ();
+              if Ast.truthy (Ast.eval env b) then go env (c :: com :: rest)
+              else go env rest
+          | Ast.Read (l, x) ->
+              tick ();
+              go (Ast.bind env l (T.read_nt tm ~thread x)) rest
+          | Ast.Write (x, e) ->
+              tick ();
+              T.write_nt tm ~thread x (Ast.eval env e);
+              go env rest
+          | Ast.Fence ->
+              tick ();
+              if not (elide_ro_fences && !last_txn_read_only) then
+                T.fence tm ~thread;
+              go env rest
+          | Ast.Atomic (l, body) -> (
+              tick ();
+              wrote_in_txn := false;
+              let txn = T.txn_begin tm ~thread in
+              match go_txn txn env [ body ] with
+              | env' -> (
+                  last_txn_read_only := not !wrote_in_txn;
+                  match T.commit tm txn with
+                  | () -> go (Ast.bind env' l Ast.committed) rest
+                  | exception Tm_runtime.Tm_intf.Abort ->
+                      go (Ast.bind env l Ast.aborted) rest)
+              | exception Tm_runtime.Tm_intf.Abort ->
+                  last_txn_read_only := not !wrote_in_txn;
+                  go (Ast.bind env l Ast.aborted) rest
+              | exception Txn_diverged ->
+                  (* the doomed loop: give up on the transaction *)
+                  last_txn_read_only := not !wrote_in_txn;
+                  T.abort tm txn;
+                  diverged := true;
+                  go (Ast.bind env l Ast.aborted) rest))
+    in
+    match go [] [ com ] with
+    | env -> (env, !diverged)
+    | exception Txn_diverged -> ([], true)
+
+  let exec ?(fuel = 10_000) ?(policy = Tm_runtime.Fence_policy.Selective) tm
+      (p : Ast.program) =
+    let elide_ro_fences = policy = Tm_runtime.Fence_policy.Skip_read_only in
+    let n = Array.length p in
+    let domains =
+      Array.init n (fun thread ->
+          Domain.spawn (fun () ->
+              exec_thread ~elide_ro_fences tm thread p.(thread) fuel))
+    in
+    let results = Array.map Domain.join domains in
+    {
+      r_envs = Array.map fst results;
+      r_diverged = Array.map snd results;
+    }
+
+  let read_registers tm nregs =
+    List.init nregs (fun x -> (x, T.read_nt tm ~thread:0 x))
+
+  type trial_stats = {
+    trials : int;
+    violations : int;
+    divergences : int;
+    aborted_runs : int;
+  }
+
+  let run_trials ?fuel ~make_tm ~policy ~trials ~nregs (fig : Figures.figure)
+      =
+    let program = Policy.apply policy fig.Figures.f_program in
+    let violations = ref 0 in
+    let divergences = ref 0 in
+    let aborted_runs = ref 0 in
+    for _ = 1 to trials do
+      let tm = make_tm () in
+      let result = exec ?fuel ~policy tm program in
+      let regs = read_registers tm nregs in
+      let diverged = Array.exists Fun.id result.r_diverged in
+      (* A diverged run has incomplete environments; count it as a
+         divergence (the doomed-transaction symptom), not as a
+         postcondition violation. *)
+      if diverged then incr divergences
+      else if not (fig.Figures.f_post result.r_envs regs) then
+        incr violations;
+      if
+        Array.exists
+          (fun env ->
+            List.exists (fun (_, v) -> v = Ast.aborted) env)
+          result.r_envs
+      then incr aborted_runs
+    done;
+    {
+      trials;
+      violations = !violations;
+      divergences = !divergences;
+      aborted_runs = !aborted_runs;
+    }
+end

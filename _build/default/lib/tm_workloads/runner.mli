@@ -1,0 +1,54 @@
+(** Executing programs of the paper's language on a real TM over OCaml
+    domains: the runtime counterpart of the strongly-atomic explorer in
+    [Tm_lang.Explore].
+
+    Each thread of the program runs on its own domain and interprets
+    its command against the TM.  Atomic blocks are single attempts, as
+    in the language: a TM abort assigns [Ast.aborted] to the result
+    variable and discards local-variable updates made inside the block.
+    Loops are bounded by [fuel] interpreter steps per thread; a thread
+    that exhausts its fuel inside a transaction aborts it explicitly and
+    is reported as diverged — this is how the doomed-transaction
+    endless loop of Figure 1(b) is observed without hanging the
+    process. *)
+
+open Tm_lang
+
+type result = {
+  r_envs : Ast.env array;  (** final local environments *)
+  r_diverged : bool array;  (** per thread: fuel exhausted *)
+}
+
+module Make (T : Tm_runtime.Tm_intf.S) : sig
+  val exec :
+    ?fuel:int -> ?policy:Tm_runtime.Fence_policy.t -> T.t -> Ast.program ->
+    result
+  (** Run every thread on its own domain and join (default fuel 10000).
+      Under [Skip_read_only] the interpreter elides fences that follow a
+      dynamically read-only transaction, like the buggy GCC libitm
+      runtime. *)
+
+  val read_registers : T.t -> int -> (Tm_model.Types.reg * Tm_model.Types.value) list
+  (** Final register values [0..nregs-1], read non-transactionally by
+      thread 0 after the program has joined. *)
+
+  (** Outcome counts over repeated trials of a figure program. *)
+  type trial_stats = {
+    trials : int;
+    violations : int;  (** runs where the postcondition failed *)
+    divergences : int;  (** runs where some thread diverged *)
+    aborted_runs : int;  (** runs where some atomic block aborted *)
+  }
+
+  val run_trials :
+    ?fuel:int ->
+    make_tm:(unit -> T.t) ->
+    policy:Tm_runtime.Fence_policy.t ->
+    trials:int ->
+    nregs:int ->
+    Figures.figure ->
+    trial_stats
+  (** Repeatedly run a figure program (rewritten under [policy]) on
+      fresh TM instances and count postcondition violations and doomed
+      divergences. *)
+end

@@ -1,0 +1,1 @@
+test/helpers.ml: Action Builder Tm_model

@@ -1,0 +1,1 @@
+test/test_atomic.ml: Action Alcotest Atomic_tm Builder Helpers History List QCheck QCheck_alcotest Tm_atomic Tm_model Types

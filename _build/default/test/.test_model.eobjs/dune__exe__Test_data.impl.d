@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Domain Hashtbl List QCheck QCheck_alcotest Tl2 Tm_baselines Tm_data Tm_runtime

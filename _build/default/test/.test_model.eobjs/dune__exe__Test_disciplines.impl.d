@@ -1,0 +1,1 @@
+test/test_disciplines.ml: Alcotest Builder Helpers List QCheck QCheck_alcotest Separation Tm_disciplines Tm_model Tm_relations Tm_workloads

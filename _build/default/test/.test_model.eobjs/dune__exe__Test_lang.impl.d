@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Explore Figures History List Printf QCheck QCheck_alcotest Random Tm_atomic Tm_lang Tm_model Tm_opacity Tm_relations

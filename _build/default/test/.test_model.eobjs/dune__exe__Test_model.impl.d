@@ -1,0 +1,1 @@
+test/test_model.ml: Action Alcotest Array Builder History List String Text Tm_model Tm_relations Types

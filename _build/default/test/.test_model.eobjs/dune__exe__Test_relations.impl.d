@@ -1,0 +1,1 @@
+test/test_relations.ml: Action Alcotest Array Builder Helpers List Online_race QCheck QCheck_alcotest Race Rel Relations Tm_model Tm_relations Tm_workloads

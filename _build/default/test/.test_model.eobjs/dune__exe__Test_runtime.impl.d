@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Atomic_block Domain Fence_policy Hashtbl History List Random Recorder Tl2 Tm_baselines Tm_intf Tm_model Tm_opacity Tm_relations Tm_runtime Types

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Ast Fence_policy Figures List QCheck QCheck_alcotest Tl2 Tm_atomic Tm_lang Tm_model Tm_opacity Tm_relations Tm_runtime Tm_workloads

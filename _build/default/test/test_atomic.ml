@@ -1,0 +1,236 @@
+(* Tests for tm_atomic: non-interleaving, completions, legality and
+   H_atomic membership (§2.4). *)
+
+open Tm_model
+open Tm_atomic
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let x = Helpers.x
+let flag = Helpers.flag
+
+let test_h0_membership () =
+  (* The paper's example H0 is non-interleaved and belongs to H_atomic
+     by completing t1's commit-pending transaction to committed. *)
+  let h = Helpers.h0_history () in
+  let info = History.analyze h in
+  check bool "non-interleaved" true (Atomic_tm.is_non_interleaved info);
+  check int "one commit-pending" 1
+    (List.length (Atomic_tm.commit_pending_txns info));
+  check bool "H0 in H_atomic" true (Atomic_tm.mem h)
+
+let test_h0_requires_commit () =
+  (* With the pending transaction aborted, t3's read of 1 is illegal. *)
+  let h = Helpers.h0_history () in
+  let info = History.analyze h in
+  check bool "aborting completion is illegal" false
+    (Atomic_tm.legal_with_choice info (fun _ -> false));
+  check bool "committing completion is legal" true
+    (Atomic_tm.legal_with_choice info (fun _ -> true))
+
+let test_interleaved_rejected () =
+  (* Two transactions with overlapping action spans. *)
+  let b = Builder.create () in
+  Builder.request b 0 Action.Txbegin;
+  Builder.response b 0 Action.Okay;
+  Builder.request b 1 Action.Txbegin;
+  Builder.response b 1 Action.Okay;
+  Builder.read b 0 x 0;
+  Builder.read b 1 x 0;
+  Builder.commit b 0;
+  Builder.commit b 1;
+  let info = History.analyze (Builder.history b) in
+  check bool "interleaved txns rejected" false
+    (Atomic_tm.is_non_interleaved info)
+
+let test_fence_can_interleave () =
+  (* A fence of another thread may overlap a transaction's span without
+     breaking non-interleaving (it is neither a transaction nor a
+     non-transactional access). *)
+  let b = Builder.create () in
+  Builder.txbegin b 0;
+  Builder.request b 1 Action.Fbegin;
+  Builder.commit b 0;
+  Builder.response b 1 Action.Fend;
+  let info = History.analyze (Builder.history b) in
+  check bool "fence interleaving ok" true (Atomic_tm.is_non_interleaved info);
+  check bool "member" true (Atomic_tm.mem (Builder.history b))
+
+let test_nontxn_interleave_rejected () =
+  (* A non-transactional access inside a transaction's span. *)
+  let b = Builder.create () in
+  Builder.request b 0 Action.Txbegin;
+  Builder.response b 0 Action.Okay;
+  Builder.write b 1 flag 9;
+  (* nontxn access of t1 inside t0's txn *)
+  Builder.commit b 0;
+  let info = History.analyze (Builder.history b) in
+  check bool "nontxn access inside txn span rejected" false
+    (Atomic_tm.is_non_interleaved info)
+
+let test_aborted_writes_invisible () =
+  let b = Builder.create () in
+  Builder.txbegin b 0;
+  Builder.write b 0 x 5;
+  Builder.abort_commit b 0;
+  Builder.read b 1 x 5;
+  (* illegal: aborted write *)
+  check bool "aborted write invisible" false (Atomic_tm.mem (Builder.history b));
+  let b = Builder.create () in
+  Builder.txbegin b 0;
+  Builder.write b 0 x 5;
+  Builder.abort_commit b 0;
+  Builder.read b 1 x 0;
+  check bool "vinit visible after abort" true
+    (Atomic_tm.mem (Builder.history b))
+
+let test_own_writes_visible_in_aborted_txn () =
+  (* A transaction reads its own earlier write even if it later
+     aborts. *)
+  let b = Builder.create () in
+  Builder.txbegin b 0;
+  Builder.write b 0 x 5;
+  Builder.read b 0 x 5;
+  Builder.abort_commit b 0;
+  check bool "own write readable" true (Atomic_tm.mem (Builder.history b))
+
+let test_sequential_values () =
+  let b = Builder.create () in
+  Builder.write b 0 x 3;
+  Builder.txbegin b 1;
+  Builder.read b 1 x 3;
+  Builder.write b 1 x 4;
+  Builder.commit b 1;
+  Builder.read b 0 x 4;
+  check bool "hand-over-hand legal" true (Atomic_tm.mem (Builder.history b))
+
+let test_stale_read_rejected () =
+  let b = Builder.create () in
+  Builder.write b 0 x 3;
+  Builder.txbegin b 1;
+  Builder.write b 1 x 4;
+  Builder.commit b 1;
+  Builder.read b 0 x 3;
+  (* stale *)
+  check bool "stale read rejected" false (Atomic_tm.mem (Builder.history b))
+
+let test_completions_enumeration () =
+  let h = Helpers.h0_history () in
+  let info = History.analyze h in
+  let cs = Atomic_tm.completions info in
+  check int "two completions for one pending txn" 2 (List.length cs);
+  List.iter
+    (fun c ->
+      check bool "completion longer by one" true
+        (History.length c = History.length h + 1);
+      let ci = History.analyze c in
+      check int "no pending left" 0
+        (List.length (Atomic_tm.commit_pending_txns ci)))
+    cs
+
+let test_replay_store () =
+  let r = Atomic_tm.Replay.create () in
+  let step kind thread = Atomic_tm.Replay.step r (Action.request 0 thread kind) in
+  step (Action.Write (x, 3)) 0;
+  check int "nontxn write applies" 3 (Atomic_tm.Replay.store_value r x);
+  Atomic_tm.Replay.step r (Action.request 1 1 Action.Txbegin);
+  step (Action.Write (x, 4)) 1;
+  check int "txn write buffered" 3 (Atomic_tm.Replay.store_value r x);
+  check int "txn sees own write" 4 (Atomic_tm.Replay.read_value r 1 x);
+  check int "others see old value" 3 (Atomic_tm.Replay.read_value r 0 x);
+  Atomic_tm.Replay.step r (Action.response 2 1 Action.Committed);
+  check int "commit flushes" 4 (Atomic_tm.Replay.store_value r x)
+
+let test_replay_abort () =
+  let r = Atomic_tm.Replay.create () in
+  Atomic_tm.Replay.step r (Action.request 0 0 Action.Txbegin);
+  Atomic_tm.Replay.step r (Action.request 1 0 (Action.Write (x, 9)));
+  Atomic_tm.Replay.step r (Action.response 2 0 Action.Aborted);
+  check int "abort discards" Types.v_init (Atomic_tm.Replay.store_value r x);
+  check bool "not in txn" false (Atomic_tm.Replay.in_txn r 0)
+
+(* Properties: atomic histories generated by a sequential schedule are
+   always members of H_atomic. *)
+
+let sequential_history_gen : History.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let* steps = int_range 1 12 in
+    let b = Builder.create () in
+    let replay = Atomic_tm.Replay.create () in
+    let rec go n =
+      if n = 0 then return (Builder.history b)
+      else
+        let* thread = int_bound 2 in
+        let* reg = int_bound 2 in
+        let* op = int_bound 3 in
+        (match op with
+        | 0 ->
+            (* committed txn with a write and a read *)
+            let v = Builder.fresh_value b in
+            Builder.txbegin b thread;
+            Atomic_tm.Replay.step replay (Action.request 0 thread Action.Txbegin);
+            Atomic_tm.Replay.step replay
+              (Action.request 0 thread (Action.Write (reg, v)));
+            Builder.write b thread reg v;
+            Builder.read b thread reg v;
+            Builder.commit b thread;
+            Atomic_tm.Replay.step replay (Action.response 0 thread Action.Committed)
+        | 1 ->
+            (* aborted txn: reads current value then aborts *)
+            Builder.txbegin b thread;
+            let v = Atomic_tm.Replay.read_value replay thread reg in
+            Builder.read b thread reg v;
+            Builder.abort_commit b thread
+        | 2 ->
+            (* non-transactional write *)
+            let v = Builder.fresh_value b in
+            Builder.write b thread reg v;
+            Atomic_tm.Replay.step replay
+              (Action.request 0 thread (Action.Write (reg, v)))
+        | _ ->
+            (* non-transactional read *)
+            let v = Atomic_tm.Replay.read_value replay thread reg in
+            Builder.read b thread reg v);
+        go (n - 1)
+    in
+    go steps)
+
+let prop_sequential_in_atomic =
+  QCheck.Test.make ~name:"sequential histories belong to H_atomic" ~count:300
+    (QCheck.make sequential_history_gen)
+    (fun h -> History.is_well_formed h && Atomic_tm.mem h)
+
+let () =
+  Alcotest.run "tm_atomic"
+    [
+      ( "membership",
+        [
+          Alcotest.test_case "H0 example" `Quick test_h0_membership;
+          Alcotest.test_case "H0 completion choice" `Quick
+            test_h0_requires_commit;
+          Alcotest.test_case "interleaved rejected" `Quick
+            test_interleaved_rejected;
+          Alcotest.test_case "fence may interleave" `Quick
+            test_fence_can_interleave;
+          Alcotest.test_case "nontxn interleave rejected" `Quick
+            test_nontxn_interleave_rejected;
+          Alcotest.test_case "aborted writes invisible" `Quick
+            test_aborted_writes_invisible;
+          Alcotest.test_case "own writes visible" `Quick
+            test_own_writes_visible_in_aborted_txn;
+          Alcotest.test_case "hand-over-hand" `Quick test_sequential_values;
+          Alcotest.test_case "stale read rejected" `Quick
+            test_stale_read_rejected;
+          Alcotest.test_case "completions enumeration" `Quick
+            test_completions_enumeration;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "store semantics" `Quick test_replay_store;
+          Alcotest.test_case "abort semantics" `Quick test_replay_abort;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_sequential_in_atomic ] );
+    ]

@@ -1,0 +1,157 @@
+(* Tests for tm_disciplines: the static/dynamic separation checkers and
+   their relationship to the paper's DRF (§8: the disciplines are
+   strictly more restrictive ways of being data-race free). *)
+
+open Tm_model
+open Tm_disciplines
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let mode_reg x = if x = Helpers.x then Some Helpers.flag else None
+
+(* ------------------------- static separation ----------------------- *)
+
+let test_static_pure_txn () =
+  let b = Builder.create () in
+  Builder.txbegin b 0;
+  Builder.write b 0 Helpers.x 1;
+  Builder.commit b 0;
+  Builder.txbegin b 1;
+  Builder.read b 1 Helpers.x 1;
+  Builder.commit b 1;
+  check bool "purely transactional history is statically separated" true
+    (Separation.Static.ok (Builder.history b))
+
+let test_static_disjoint_regs () =
+  (* x only transactional, flag only non-transactional *)
+  let b = Builder.create () in
+  Builder.txbegin b 0;
+  Builder.write b 0 Helpers.x 1;
+  Builder.commit b 0;
+  Builder.write b 1 Helpers.flag 2;
+  Builder.read b 1 Helpers.flag 2;
+  check bool "disjoint modes are statically separated" true
+    (Separation.Static.ok (Builder.history b))
+
+let test_static_mixed_rejected () =
+  let b = Builder.create () in
+  Builder.txbegin b 0;
+  Builder.write b 0 Helpers.x 1;
+  Builder.commit b 0;
+  Builder.read b 1 Helpers.x 1;
+  (* non-transactional *)
+  let violations = Separation.Static.violations (Builder.history b) in
+  check int "one violation" 1 (List.length violations);
+  check int "on register x" Helpers.x (List.hd violations).Separation.v_reg
+
+let test_publication_not_static_but_drf () =
+  (* The paper's point: publication mixes modes on x (so static
+     separation rejects it) yet it is DRF. *)
+  let h = Helpers.publication_history () in
+  check bool "not statically separated" false (Separation.Static.ok h);
+  check bool "but DRF" true (Tm_relations.Race.is_drf_history h)
+
+(* ------------------------- dynamic separation ---------------------- *)
+
+let test_dynamic_fenced_privatization_ok () =
+  check bool "fenced privatization follows dynamic separation" true
+    (Separation.Dynamic.ok ~mode_reg (Helpers.privatization_fenced_history ()))
+
+let test_dynamic_delayed_commit_violates () =
+  (* In the anomalous interleaving, T2's transactional write to x lands
+     after the privatizing transaction committed: x was unprotected. *)
+  let violations =
+    Separation.Dynamic.violations ~mode_reg (Helpers.delayed_commit_history ())
+  in
+  check bool "violation found" true (violations <> []);
+  check int "on register x" Helpers.x
+    (List.hd violations).Separation.v_reg
+
+let test_dynamic_doomed_violates () =
+  let violations =
+    Separation.Dynamic.violations ~mode_reg (Helpers.doomed_read_history ())
+  in
+  check bool "doomed read is a dynamic-separation violation" true
+    (violations <> [])
+
+let test_dynamic_aborted_mode_change_ignored () =
+  (* an aborted privatizing transaction leaves the register protected *)
+  let b = Builder.create () in
+  Builder.txbegin b 0;
+  Builder.write b 0 Helpers.flag 1;
+  Builder.abort_commit b 0;
+  Builder.txbegin b 1;
+  Builder.write b 1 Helpers.x 42;
+  Builder.commit b 1;
+  check bool "aborted unprotect has no effect" true
+    (Separation.Dynamic.ok ~mode_reg (Builder.history b))
+
+let test_dynamic_nontxn_mode_change () =
+  (* the agreement idiom: the flag is passed non-transactionally *)
+  let b = Builder.create () in
+  Builder.txbegin b 0;
+  Builder.write b 0 Helpers.x 42;
+  Builder.commit b 0;
+  Builder.write b 0 Helpers.flag 1;
+  (* unprotect, non-transactionally *)
+  Builder.read b 1 Helpers.x 42;
+  (* now fine non-transactionally *)
+  check bool "non-transactional unprotect takes effect immediately" true
+    (Separation.Dynamic.ok ~mode_reg (Builder.history b))
+
+let test_dynamic_protect_back () =
+  let b = Builder.create () in
+  Builder.write b 0 Helpers.flag 1;
+  (* unprotect *)
+  Builder.write b 0 Helpers.x 5;
+  (* ok: non-transactional *)
+  Builder.write b 0 Helpers.flag (-1);
+  (* protect again *)
+  Builder.txbegin b 1;
+  Builder.write b 1 Helpers.x 42;
+  Builder.commit b 1;
+  check bool "republished register transactional again" true
+    (Separation.Dynamic.ok ~mode_reg (Builder.history b))
+
+(* --------------------------- properties ---------------------------- *)
+
+let prop_static_implies_drf =
+  QCheck.Test.make ~name:"statically separated histories are DRF" ~count:400
+    QCheck.small_int
+    (fun seed ->
+      let h =
+        Tm_workloads.History_gen.generate ~seed:(seed * 19) ~threads:3
+          ~registers:3 ~steps:6 ()
+      in
+      (not (Separation.Static.ok h)) || Tm_relations.Race.is_drf_history h)
+
+let () =
+  Alcotest.run "tm_disciplines"
+    [
+      ( "static separation",
+        [
+          Alcotest.test_case "purely transactional" `Quick test_static_pure_txn;
+          Alcotest.test_case "disjoint modes" `Quick test_static_disjoint_regs;
+          Alcotest.test_case "mixed rejected" `Quick test_static_mixed_rejected;
+          Alcotest.test_case "publication: DRF beyond static separation"
+            `Quick test_publication_not_static_but_drf;
+        ] );
+      ( "dynamic separation",
+        [
+          Alcotest.test_case "fenced privatization ok" `Quick
+            test_dynamic_fenced_privatization_ok;
+          Alcotest.test_case "delayed commit violates" `Quick
+            test_dynamic_delayed_commit_violates;
+          Alcotest.test_case "doomed read violates" `Quick
+            test_dynamic_doomed_violates;
+          Alcotest.test_case "aborted mode change" `Quick
+            test_dynamic_aborted_mode_change_ignored;
+          Alcotest.test_case "non-transactional mode change" `Quick
+            test_dynamic_nontxn_mode_change;
+          Alcotest.test_case "protect back" `Quick test_dynamic_protect_back;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_static_implies_drf ] );
+    ]

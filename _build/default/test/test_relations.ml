@@ -1,0 +1,330 @@
+(* Tests for tm_relations: the Rel bitset representation, the paper's
+   happens-before components (§3) and DRF on the figure histories. *)
+
+open Tm_model
+open Tm_relations
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* ----------------------------- Rel ------------------------------- *)
+
+let test_rel_basics () =
+  let r = Rel.create 5 in
+  Rel.add r 0 1;
+  Rel.add r 1 2;
+  check bool "mem added" true (Rel.mem r 0 1);
+  check bool "not mem" false (Rel.mem r 0 2);
+  let c = Rel.transitive_closure r in
+  check bool "closure" true (Rel.mem c 0 2);
+  check int "cardinal" 2 (Rel.cardinal r);
+  check int "closure cardinal" 3 (Rel.cardinal c)
+
+let test_rel_compose () =
+  let a = Rel.create 4 and b = Rel.create 4 in
+  Rel.add a 0 1;
+  Rel.add a 2 3;
+  Rel.add b 1 2;
+  let c = Rel.compose a b in
+  check bool "0;1 . 1;2 = 0;2" true (Rel.mem c 0 2);
+  check bool "no spurious" false (Rel.mem c 2 3);
+  check int "one pair" 1 (Rel.cardinal c)
+
+let test_rel_acyclic () =
+  let r = Rel.create 3 in
+  Rel.add r 0 1;
+  Rel.add r 1 2;
+  check bool "acyclic" true (Rel.is_acyclic r);
+  Rel.add r 2 0;
+  check bool "cyclic" false (Rel.is_acyclic r)
+
+let test_rel_toposort () =
+  let r = Rel.create 4 in
+  Rel.add r 3 1;
+  Rel.add r 1 0;
+  Rel.add r 0 2;
+  (match Rel.topological_sort r with
+  | Some order -> check (Alcotest.list int) "order" [ 3; 1; 0; 2 ] order
+  | None -> Alcotest.fail "expected a topological order");
+  Rel.add r 2 3;
+  check bool "no order on cycle" true (Rel.topological_sort r = None)
+
+let test_rel_large_indices () =
+  (* exercise multi-word rows *)
+  let n = 200 in
+  let r = Rel.create n in
+  Rel.add r 0 199;
+  Rel.add r 63 64;
+  Rel.add r 64 126;
+  check bool "bit across words" true (Rel.mem r 0 199);
+  let c = Rel.transitive_closure r in
+  check bool "closure across words" true (Rel.mem c 63 126)
+
+(* ------------------------ hb components -------------------------- *)
+
+let test_po_cl () =
+  let b = Builder.create () in
+  Builder.write b 0 Helpers.x 1;
+  Builder.write b 1 Helpers.flag 2;
+  Builder.write b 0 Helpers.x 3;
+  let r = Relations.of_history (Builder.history b) in
+  (* indices: 0-1 write t0; 2-3 write t1; 4-5 write t0 *)
+  check bool "po same thread" true (Rel.mem r.Relations.po 0 4);
+  check bool "po not cross-thread" false (Rel.mem r.Relations.po 0 2);
+  check bool "cl cross-thread nontxn" true (Rel.mem r.Relations.cl 0 2);
+  check bool "hb contains cl" true (Rel.mem r.Relations.hb 0 2)
+
+let test_wr_dependency () =
+  let b = Builder.create () in
+  Builder.txbegin b 0;
+  Builder.write b 0 Helpers.x 5;
+  Builder.commit b 0;
+  Builder.txbegin b 1;
+  Builder.read b 1 Helpers.x 5;
+  Builder.commit b 1;
+  let r = Relations.of_history (Builder.history b) in
+  (* write request at 2; read response at 9 *)
+  let wr_x = List.assoc Helpers.x r.Relations.wr in
+  check bool "wr edge" true (Rel.mem wr_x 2 9);
+  let txwr_x = List.assoc Helpers.x r.Relations.txwr in
+  check bool "txwr edge" true (Rel.mem txwr_x 2 9)
+
+let test_wr_not_txwr_for_nontxn () =
+  let b = Builder.create () in
+  Builder.write b 0 Helpers.x 5;
+  Builder.txbegin b 1;
+  Builder.read b 1 Helpers.x 5;
+  Builder.commit b 1;
+  let r = Relations.of_history (Builder.history b) in
+  let wr_x = List.assoc Helpers.x r.Relations.wr in
+  let txwr_x = List.assoc Helpers.x r.Relations.txwr in
+  check bool "wr present" true (Rel.cardinal wr_x = 1);
+  check bool "txwr empty (writer non-transactional)" true
+    (Rel.cardinal txwr_x = 0)
+
+let test_fence_relations () =
+  let h = Helpers.privatization_fenced_history () in
+  let r = Relations.of_history h in
+  (* T2's committed (index 7) is before-fence-ordered with fend. *)
+  let fend =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i (a : Action.t) ->
+        if Action.equal_kind a.Action.kind (Action.Response Action.Fend) then
+          found := i)
+      h;
+    !found
+  in
+  check bool "found fend" true (fend >= 0);
+  check bool "bf: T2 completion before fend" true (Rel.mem r.Relations.bf 7 fend)
+
+let test_af_relation () =
+  let b = Builder.create () in
+  Builder.fence b 0;
+  Builder.txbegin b 1;
+  Builder.commit b 1;
+  let r = Relations.of_history (Builder.history b) in
+  (* fbegin at 0, txbegin at 2 *)
+  check bool "af edge" true (Rel.mem r.Relations.af 0 2);
+  check bool "af in hb" true (Rel.mem r.Relations.hb 0 2)
+
+let test_xpo_txwr_publication () =
+  (* The publication idiom: ν's write to x happens-before T2's read of
+     x via xpo ; txwr on the flag. *)
+  let h = Helpers.publication_history () in
+  let r = Relations.of_history h in
+  (* index 0 = ν's write(x) request; T2's read(x) request is at 12. *)
+  check bool "publication hb edge" true (Rel.mem r.Relations.hb 0 12)
+
+let test_rt_order () =
+  let b = Builder.create () in
+  Builder.txbegin b 0;
+  Builder.commit b 0;
+  Builder.txbegin b 1;
+  Builder.commit b 1;
+  let r = Relations.of_history (Builder.history b) in
+  (* completion of txn 1 at index 3; txbegin of txn 2 at index 4 *)
+  check bool "rt orders non-overlapping txns" true (Rel.mem r.Relations.rt 3 4)
+
+(* ------------------------------ DRF ------------------------------ *)
+
+let test_publication_drf () =
+  check bool "publication is DRF" true
+    (Race.is_drf_history (Helpers.publication_history ()))
+
+let test_privatization_fenced_drf () =
+  check bool "fenced privatization is DRF" true
+    (Race.is_drf_history (Helpers.privatization_fenced_history ()))
+
+let test_delayed_commit_racy () =
+  let r = Relations.of_history (Helpers.delayed_commit_history ()) in
+  check bool "unfenced privatization is racy" false (Race.is_drf r);
+  match Race.first_race r with
+  | Some race -> check int "race on x" Helpers.x race.Race.r_reg
+  | None -> Alcotest.fail "expected a race"
+
+let test_racy_figure3 () =
+  let r = Relations.of_history (Helpers.racy_history ()) in
+  check bool "figure 3 is racy" false (Race.is_drf r);
+  check bool "two races (x and y)" true (List.length (Race.races r) = 2)
+
+let test_agreement_drf () =
+  check bool "agreement idiom is DRF" true
+    (Race.is_drf_history (Helpers.agreement_history ()))
+
+let test_doomed_read_racy_without_fence () =
+  (* Without a fence the doomed history is racy (the conflict between
+     ν's write and T2's read of x is unordered). *)
+  check bool "doomed history racy" false
+    (Race.is_drf_history (Helpers.doomed_read_history ()))
+
+(* ------------------------ online detector ------------------------- *)
+
+let test_online_detects_figures () =
+  check bool "publication DRF (online)" true
+    (Online_race.is_drf (Helpers.publication_history ()));
+  check bool "fenced privatization DRF (online)" true
+    (Online_race.is_drf (Helpers.privatization_fenced_history ()));
+  check bool "delayed commit racy (online)" false
+    (Online_race.is_drf (Helpers.delayed_commit_history ()));
+  check bool "figure 3 racy (online)" false
+    (Online_race.is_drf (Helpers.racy_history ()));
+  check bool "agreement DRF (online)" true
+    (Online_race.is_drf (Helpers.agreement_history ()));
+  check bool "doomed racy (online)" false
+    (Online_race.is_drf (Helpers.doomed_read_history ()))
+
+let test_online_incremental_api () =
+  let h = Helpers.delayed_commit_history () in
+  let d = Online_race.create ~threads:2 in
+  let found = ref None in
+  Array.iter
+    (fun a -> match Online_race.step d a with
+       | Some r when !found = None -> found := Some r
+       | _ -> ())
+    h;
+  match !found with
+  | Some r -> check int "race register" Helpers.x r.Race.r_reg
+  | None -> Alcotest.fail "expected an online race"
+
+let prop_online_verdict_matches_offline =
+  QCheck.Test.make ~name:"online detector verdict matches offline" ~count:400
+    QCheck.small_int
+    (fun seed ->
+      let h =
+        Tm_workloads.History_gen.generate ~seed:(seed * 5) ~threads:3
+          ~registers:3 ~steps:6 ()
+      in
+      let offline = Race.races (Relations.of_history h) in
+      let online = Online_race.check h in
+      (offline = []) = (online = []))
+
+let prop_online_races_sound =
+  QCheck.Test.make ~name:"online races are a subset of offline races"
+    ~count:400 QCheck.small_int
+    (fun seed ->
+      let h =
+        Tm_workloads.History_gen.generate ~seed:(seed * 17) ~threads:3
+          ~registers:3 ~steps:6 ()
+      in
+      let norm l =
+        List.sort_uniq compare
+          (List.map (fun r -> Race.(r.r_nontxn, r.r_txn, r.r_reg)) l)
+      in
+      let offline = norm (Race.races (Relations.of_history h)) in
+      List.for_all (fun r -> List.mem r offline)
+        (norm (Online_race.check h)))
+
+(* --------------------------- properties --------------------------- *)
+
+let rel_gen n =
+  QCheck.Gen.(
+    list_size (int_bound 20) (pair (int_bound (n - 1)) (int_bound (n - 1))))
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~name:"transitive closure is idempotent" ~count:200
+    (QCheck.make (rel_gen 12))
+    (fun pairs ->
+      let r = Rel.create 12 in
+      List.iter (fun (i, j) -> Rel.add r i j) pairs;
+      let c1 = Rel.transitive_closure r in
+      let c2 = Rel.transitive_closure c1 in
+      Rel.equal c1 c2)
+
+let prop_compose_subset_closure =
+  QCheck.Test.make ~name:"r;r subset of closure" ~count:200
+    (QCheck.make (rel_gen 10))
+    (fun pairs ->
+      let r = Rel.create 10 in
+      List.iter (fun (i, j) -> Rel.add r i j) pairs;
+      let rr = Rel.compose r r in
+      let c = Rel.transitive_closure r in
+      Rel.fold_pairs rr (fun acc i j -> acc && Rel.mem c i j) true)
+
+let prop_toposort_respects_rel =
+  QCheck.Test.make ~name:"topological sort respects the relation"
+    ~count:200
+    (QCheck.make (rel_gen 10))
+    (fun pairs ->
+      let r = Rel.create 10 in
+      List.iter (fun (i, j) -> if i <> j then Rel.add r i j) pairs;
+      match Rel.topological_sort r with
+      | None -> not (Rel.is_acyclic r)
+      | Some order ->
+          let pos = Array.make 10 0 in
+          List.iteri (fun idx n -> pos.(n) <- idx) order;
+          Rel.fold_pairs r (fun acc i j -> acc && pos.(i) < pos.(j)) true)
+
+let () =
+  Alcotest.run "tm_relations"
+    [
+      ( "rel",
+        [
+          Alcotest.test_case "basics" `Quick test_rel_basics;
+          Alcotest.test_case "compose" `Quick test_rel_compose;
+          Alcotest.test_case "acyclicity" `Quick test_rel_acyclic;
+          Alcotest.test_case "topological sort" `Quick test_rel_toposort;
+          Alcotest.test_case "multi-word rows" `Quick test_rel_large_indices;
+        ] );
+      ( "hb components",
+        [
+          Alcotest.test_case "po and cl" `Quick test_po_cl;
+          Alcotest.test_case "wr dependency" `Quick test_wr_dependency;
+          Alcotest.test_case "txwr excludes non-transactional writers"
+            `Quick test_wr_not_txwr_for_nontxn;
+          Alcotest.test_case "before-fence" `Quick test_fence_relations;
+          Alcotest.test_case "after-fence" `Quick test_af_relation;
+          Alcotest.test_case "publication via xpo;txwr" `Quick
+            test_xpo_txwr_publication;
+          Alcotest.test_case "real-time order" `Quick test_rt_order;
+        ] );
+      ( "drf",
+        [
+          Alcotest.test_case "publication DRF" `Quick test_publication_drf;
+          Alcotest.test_case "fenced privatization DRF" `Quick
+            test_privatization_fenced_drf;
+          Alcotest.test_case "delayed commit racy" `Quick
+            test_delayed_commit_racy;
+          Alcotest.test_case "figure 3 racy" `Quick test_racy_figure3;
+          Alcotest.test_case "agreement DRF" `Quick test_agreement_drf;
+          Alcotest.test_case "doomed without fence racy" `Quick
+            test_doomed_read_racy_without_fence;
+        ] );
+      ( "online detector",
+        [
+          Alcotest.test_case "figure verdicts" `Quick
+            test_online_detects_figures;
+          Alcotest.test_case "incremental API" `Quick
+            test_online_incremental_api;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_closure_idempotent;
+            prop_compose_subset_closure;
+            prop_toposort_respects_rel;
+            prop_online_verdict_matches_offline;
+            prop_online_races_sound;
+          ] );
+    ]

@@ -1,0 +1,330 @@
+(* Tests for tm_workloads: policy transformation, the AST runner on a
+   real TM, kernels (with their algebraic invariants), the random
+   workload and the history generator. *)
+
+open Tm_lang
+open Tm_runtime
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* --------------------------- policies ----------------------------- *)
+
+let sample_program_with_fence =
+  Ast.(seq [ Atomic ("l", Write (0, Int 1)); Fence; Read ("r", 0) ])
+
+let count_fences c =
+  let rec go = function
+    | Ast.Fence -> 1
+    | Ast.Seq (a, b) | Ast.If (_, a, b) -> go a + go b
+    | Ast.While (_, c) | Ast.Atomic (_, c) -> go c
+    | Ast.Skip | Ast.Assign _ | Ast.Read _ | Ast.Write _ -> 0
+  in
+  go c
+
+let test_strip_fences () =
+  check int "fences stripped" 0
+    (count_fences (Tm_workloads.Policy.strip_fences sample_program_with_fence))
+
+let test_conservative_adds_fences () =
+  let p = Tm_workloads.Policy.apply Fence_policy.Conservative
+      [| sample_program_with_fence |]
+  in
+  check int "one fence after the atomic" 1 (count_fences p.(0))
+
+let test_selective_keeps () =
+  let p =
+    Tm_workloads.Policy.apply Fence_policy.Selective
+      [| sample_program_with_fence |]
+  in
+  check int "selective keeps program fences" 1 (count_fences p.(0))
+
+let test_static_read_only () =
+  check bool "read-only body" true
+    (Tm_workloads.Policy.is_statically_read_only Ast.(Read ("r", 0)));
+  check bool "writing body" false
+    (Tm_workloads.Policy.is_statically_read_only
+       Ast.(Seq (Read ("r", 0), Write (0, Var "r"))));
+  let fenced_ro =
+    Tm_workloads.Policy.fence_after_atomics ~skip_read_only:true
+      Ast.(Atomic ("l", Read ("r", 0)))
+  in
+  check int "no fence after static read-only atomic" 0 (count_fences fenced_ro)
+
+(* ----------------------------- runner ------------------------------ *)
+
+module R = Tm_workloads.Runner.Make (Tl2)
+
+let test_runner_sequential () =
+  let tm = Tl2.create ~nregs:4 ~nthreads:1 () in
+  let p =
+    [|
+      Ast.(
+        seq
+          [
+            Atomic ("l", seq [ Write (0, Int 5); Read ("r", 0) ]);
+            Read ("out", 0);
+            Assign ("sum", Add (Var "r", Var "out"));
+          ]);
+    |]
+  in
+  let r = R.exec tm p in
+  check int "committed" Ast.committed (Ast.lookup r.Tm_workloads.Runner.r_envs.(0) "l");
+  check int "txn read own write" 5 (Ast.lookup r.Tm_workloads.Runner.r_envs.(0) "r");
+  check int "nt read sees commit" 5 (Ast.lookup r.Tm_workloads.Runner.r_envs.(0) "out");
+  check int "locals computed" 10 (Ast.lookup r.Tm_workloads.Runner.r_envs.(0) "sum");
+  check bool "no divergence" false r.Tm_workloads.Runner.r_diverged.(0)
+
+let test_runner_divergence_abort () =
+  (* an in-transaction infinite loop gets cut by fuel and reported *)
+  let tm = Tl2.create ~nregs:4 ~nthreads:1 () in
+  let p = [| Ast.(Atomic ("l", While (Int 1, Skip))) |] in
+  let r = R.exec ~fuel:200 tm p in
+  check bool "diverged" true r.Tm_workloads.Runner.r_diverged.(0);
+  check int "transaction reported aborted" Ast.aborted
+    (Ast.lookup r.Tm_workloads.Runner.r_envs.(0) "l")
+
+let test_runner_two_threads () =
+  let tm = Tl2.create ~nregs:4 ~nthreads:2 () in
+  let p =
+    [|
+      Ast.(Atomic ("l", Write (0, Int 3)));
+      Ast.(
+        seq
+          [
+            Read ("s", 0);
+            While (Not (Var "s"), Read ("s", 0));
+          ]);
+    |]
+  in
+  let r = R.exec ~fuel:5_000_000 tm p in
+  check int "reader saw writer" 3 (Ast.lookup r.Tm_workloads.Runner.r_envs.(1) "s")
+
+(* ----------------------------- kernels ----------------------------- *)
+
+module K = Tm_workloads.Kernels.Make (Tl2)
+
+let run_kernel kernel ~threads ~ops =
+  let tm = Tl2.create ~nregs:kernel.K.nregs ~nthreads:threads () in
+  let stats =
+    K.run tm kernel ~threads ~ops_per_thread:ops
+      ~policy:Fence_policy.Selective ~seed:11
+  in
+  (tm, stats)
+
+let test_counter_kernel () =
+  let kernel = K.counter ~contended:true in
+  let tm, stats = run_kernel kernel ~threads:2 ~ops:200 in
+  check int "ops counted" 400 stats.K.ops;
+  check int "counter total" 400 (Tl2.read_nt tm ~thread:0 0)
+
+let test_bank_conservation () =
+  let kernel = K.bank ~accounts:32 in
+  let tm, _ = run_kernel kernel ~threads:2 ~ops:300 in
+  let total = ref 0 in
+  for a = 0 to 31 do
+    total := !total + Tl2.read_nt tm ~thread:0 a
+  done;
+  check int "money conserved" (32 * 100) !total
+
+let test_list_structure () =
+  let size = 16 in
+  let kernel = K.sorted_list ~size in
+  let tm, _ = run_kernel kernel ~threads:2 ~ops:300 in
+  (* walk the list: keys must remain 2,4,...,2*size in order *)
+  let rec walk node acc =
+    if node = 0 then List.rev acc
+    else
+      let key = Tl2.read_nt tm ~thread:0 ((3 * node) - 2) in
+      walk (Tl2.read_nt tm ~thread:0 (3 * node)) (key :: acc)
+  in
+  let keys = walk (Tl2.read_nt tm ~thread:0 0) [] in
+  check (Alcotest.list int) "list keys intact"
+    (List.init size (fun i -> 2 * (i + 1)))
+    keys
+
+let test_swap_permutes () =
+  let kernel = K.swap ~width:8 ~blocks:4 in
+  let tm, _ = run_kernel kernel ~threads:2 ~ops:200 in
+  let values = List.init 32 (fun r -> Tl2.read_nt tm ~thread:0 r) in
+  check (Alcotest.list int) "swap preserves the multiset of values"
+    (List.init 32 (fun i -> i))
+    (List.sort compare values)
+
+let test_kernel_fence_accounting () =
+  let kernel = K.counter ~contended:false in
+  let tm = Tl2.create ~nregs:kernel.K.nregs ~nthreads:1 () in
+  let stats =
+    K.run tm kernel ~threads:1 ~ops_per_thread:128
+      ~policy:Fence_policy.Conservative ~seed:3
+  in
+  check int "conservative fences once per op" 128 stats.K.fences;
+  let tm2 = Tl2.create ~nregs:kernel.K.nregs ~nthreads:1 () in
+  let stats2 =
+    K.run tm2 kernel ~threads:1 ~ops_per_thread:128
+      ~policy:Fence_policy.Selective ~seed:3
+  in
+  check int "selective fences only privatization points" 2 stats2.K.fences
+
+let test_reservation_conservation () =
+  let resources = 16 and customers = 8 in
+  let kernel = K.reservation ~resources ~customers in
+  let tm, _ = run_kernel kernel ~threads:2 ~ops:300 in
+  (* every resource's remaining capacity plus bookings equals 8 *)
+  let bookings = Array.make resources 0 in
+  for c = 0 to customers - 1 do
+    for s = 0 to 3 do
+      let v = Tl2.read_nt tm ~thread:0 (resources + (c * 4) + s) in
+      if v > 0 then bookings.(v - 1) <- bookings.(v - 1) + 1
+    done
+  done;
+  for r = 0 to resources - 1 do
+    check int "capacity conserved" 8
+      (Tl2.read_nt tm ~thread:0 r + bookings.(r))
+  done
+
+let test_labyrinth_cells_valid () =
+  let dim = 16 in
+  let kernel = K.labyrinth ~dim in
+  let tm, _ = run_kernel kernel ~threads:2 ~ops:200 in
+  for cell = 0 to (dim * dim) - 1 do
+    let v = Tl2.read_nt tm ~thread:0 cell in
+    if not (v = 0 || v = 1 || v = 2) then
+      Alcotest.failf "cell %d has invalid owner %d" cell v
+  done
+
+(* ------------- Lemma 5.4(2) on recorded figure histories ----------- *)
+
+(* The fenced privatization program is DRF under strong atomicity; by
+   Lemma 5.4(2) its histories on a strongly opaque TM are DRF too — and
+   by Theorem 5.3 they are strongly opaque.  Check both on real
+   recorded TL2 runs.  The unfenced program, in contrast, produces racy
+   histories whenever the conflict materializes. *)
+let test_recorded_figure_histories () =
+  (* No handshake here: its non-transactional poll loop would flood the
+     recorder.  A race is a property of the history — it exists as soon
+     as both conflicting accesses occur, whatever the final values. *)
+  let record ~fenced =
+    let recorder = Tm_runtime.Recorder.create () in
+    let tm =
+      Tl2.create_with ~recorder ~commit_delay:5_000 ~delay_threads:[ 1 ]
+        ~nregs:Figures.nregs ~nthreads:2 ()
+    in
+    (* a purely local pre-spin delays the privatizer without recording
+       anything, so the worker reliably reads the flag first *)
+    let fig = Figures.with_pre_spins [| 2000; 0 |] (Figures.fig1a ~fenced ()) in
+    let _ = R.exec ~fuel:100_000 tm fig.Figures.f_program in
+    Tm_runtime.Recorder.history recorder
+  in
+  let racy_unfenced = ref 0 in
+  for _ = 1 to 10 do
+    let h = record ~fenced:true in
+    check bool "recorded fenced history well-formed" true
+      (Tm_model.History.is_well_formed h);
+    check bool "recorded fenced history DRF" true
+      (Tm_relations.Race.is_drf_history h);
+    check bool "recorded fenced history strongly opaque" true
+      (Tm_opacity.Checker.strongly_opaque h);
+    let h' = record ~fenced:false in
+    check bool "recorded unfenced history well-formed" true
+      (Tm_model.History.is_well_formed h');
+    if not (Tm_relations.Race.is_drf_history h') then incr racy_unfenced
+  done;
+  check bool "unfenced runs produce racy histories" true (!racy_unfenced > 0)
+
+(* ------------------------- random workload ------------------------- *)
+
+let test_random_workload_ok () =
+  let h = Tm_workloads.Random_workload.generate ~seed:5 () in
+  check bool "well-formed" true (Tm_model.History.is_well_formed h);
+  check bool "normal TL2 history ok" true
+    (Tm_workloads.Random_workload.check_history h
+    = Tm_workloads.Random_workload.Ok_opaque)
+
+(* -------------------------- history gen ---------------------------- *)
+
+let prop_gen_well_formed =
+  QCheck.Test.make ~name:"generated histories are well-formed" ~count:300
+    QCheck.small_int
+    (fun seed ->
+      let h =
+        Tm_workloads.History_gen.generate ~seed ~threads:3 ~registers:3
+          ~steps:6 ()
+      in
+      Tm_model.History.is_well_formed h)
+
+let prop_checker_agreement =
+  QCheck.Test.make
+    ~name:"graph checker agrees with the exhaustive witness oracle"
+    ~count:120 QCheck.small_int
+    (fun seed ->
+      let h =
+        Tm_workloads.History_gen.generate ~seed:(seed * 7) ~threads:2
+          ~registers:2 ~steps:4 ()
+      in
+      Tm_model.History.is_well_formed h
+      && (Tm_workloads.History_gen.node_count h > 7
+         ||
+         let g = Tm_opacity.Checker.is_opaque (Tm_opacity.Checker.check h) in
+         let o = Tm_opacity.Checker.check_exhaustive_witness h in
+         g = o))
+
+let prop_atomic_member_implies_opaque =
+  (* H ∈ H_atomic implies H ⊑ H (identity witness), so the checker must
+     accept. *)
+  QCheck.Test.make ~name:"members of H_atomic are strongly opaque" ~count:150
+    QCheck.small_int
+    (fun seed ->
+      let h =
+        Tm_workloads.History_gen.generate ~seed:(seed * 13) ~threads:2
+          ~registers:2 ~steps:4 ~noise:0.0 ()
+      in
+      (not (Tm_atomic.Atomic_tm.mem h))
+      || Tm_opacity.Checker.is_opaque (Tm_opacity.Checker.check h))
+
+let () =
+  Alcotest.run "tm_workloads"
+    [
+      ( "policies",
+        [
+          Alcotest.test_case "strip" `Quick test_strip_fences;
+          Alcotest.test_case "conservative" `Quick
+            test_conservative_adds_fences;
+          Alcotest.test_case "selective" `Quick test_selective_keeps;
+          Alcotest.test_case "static read-only" `Quick test_static_read_only;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "sequential" `Quick test_runner_sequential;
+          Alcotest.test_case "divergence" `Quick test_runner_divergence_abort;
+          Alcotest.test_case "two threads" `Slow test_runner_two_threads;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "counter" `Slow test_counter_kernel;
+          Alcotest.test_case "bank conservation" `Slow test_bank_conservation;
+          Alcotest.test_case "list structure" `Slow test_list_structure;
+          Alcotest.test_case "swap permutes" `Slow test_swap_permutes;
+          Alcotest.test_case "fence accounting" `Slow
+            test_kernel_fence_accounting;
+          Alcotest.test_case "reservation conservation" `Slow
+            test_reservation_conservation;
+          Alcotest.test_case "labyrinth cells" `Slow
+            test_labyrinth_cells_valid;
+        ] );
+      ( "random workload",
+        [ Alcotest.test_case "normal run ok" `Slow test_random_workload_ok ] );
+      ( "fundamental property (recorded)",
+        [
+          Alcotest.test_case "lemma 5.4(2) on figure runs" `Slow
+            test_recorded_figure_histories;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_gen_well_formed;
+            prop_checker_agreement;
+            prop_atomic_member_implies_opaque;
+          ] );
+    ]
