@@ -29,6 +29,10 @@ let subsection title = Printf.printf "--- %s ---\n%!" title
    rate, is the reproduction target. *)
 let trials = try int_of_string (Sys.getenv "TRIALS") with Not_found -> 150
 
+(* --json (micro only): also write the measurements to
+   BENCH_relations.json / BENCH_harness.json. *)
+let json_mode = ref false
+
 let nregs = Figures.nregs
 
 (* TL2 with the anomaly window of the worker thread widened; see
@@ -81,7 +85,7 @@ let e1 () =
   print_model_verdict (Figures.fig1a ~fenced:false ());
   print_model_verdict (Figures.fig1a ~fenced:true ());
   let run ~fenced policy =
-    R.run_trials ~fuel:100_000
+    R.run_trials_auto ~fuel:100_000
       ~make_tm:(tl2_widened ~nthreads:2 ())
       ~policy ~trials ~nregs
       (Figures.fig1a ~handshake:true ~fenced ())
@@ -93,12 +97,12 @@ let e1 () =
      committing writer holds the sequence lock through write-back /
      readers are visible. *)
   row_norec "no fence (NOrec, safe)"
-    (R_norec.run_trials ~fuel:100_000
+    (R_norec.run_trials_auto ~fuel:100_000
        ~make_tm:(fun () -> Tm_baselines.Norec.create ~nregs ~nthreads:2 ())
        ~policy:Fence_policy.No_fences ~trials ~nregs
        (Figures.fig1a ~handshake:true ~fenced:false ()));
   row_tlrw "no fence (TLRW, safe)"
-    (R_tlrw.run_trials ~fuel:100_000
+    (R_tlrw.run_trials_auto ~fuel:100_000
        ~make_tm:(fun () -> Tm_baselines.Tlrw.create ~nregs ~nthreads:2 ())
        ~policy:Fence_policy.No_fences ~trials ~nregs
        (Figures.fig1a ~handshake:true ~fenced:false ()))
@@ -112,7 +116,7 @@ let e2 () =
   let spin = 300_000 in
   let fuel = (2 * spin) + 30_000 in
   let run ~fenced policy =
-    R.run_trials ~fuel
+    R.run_trials_auto ~fuel
       ~make_tm:(fun () -> Tl2.create ~nregs ~nthreads:2 ())
       ~policy ~trials:(max 30 (trials / 3)) ~nregs
       (Figures.fig1b ~handshake:true ~spin ~fenced ())
@@ -126,13 +130,13 @@ let e3 () =
   section "E3  Figure 2: publication (safe with no fence)";
   print_model_verdict Figures.fig2;
   let run policy =
-    R.run_trials ~fuel:100_000
+    R.run_trials_auto ~fuel:100_000
       ~make_tm:(fun () -> Tl2.create ~nregs ~nthreads:2 ())
       ~policy ~trials ~nregs Figures.fig2
   in
   row "no fence (TL2)" (run Fence_policy.No_fences);
   let s =
-    R_norec.run_trials ~fuel:100_000
+    R_norec.run_trials_auto ~fuel:100_000
       ~make_tm:(fun () -> Tm_baselines.Norec.create ~nregs ~nthreads:2 ())
       ~policy:Fence_policy.No_fences ~trials ~nregs Figures.fig2
   in
@@ -145,7 +149,7 @@ let e4 () =
   print_model_verdict Figures.fig3;
   let fig = Figures.with_pre_spins [| 0; 400 |] Figures.fig3 in
   let s =
-    R.run_trials ~fuel:100_000
+    R.run_trials_auto ~fuel:100_000
       ~make_tm:(tl2_writer_widened ~nthreads:2 ())
       ~policy:Fence_policy.No_fences ~trials ~nregs fig
   in
@@ -160,7 +164,7 @@ let e5 () =
   section "E5  Figure 6: privatization by agreement outside transactions";
   print_model_verdict Figures.fig6;
   let s =
-    R.run_trials ~fuel:5_000_000
+    R.run_trials_auto ~fuel:5_000_000
       ~make_tm:(fun () -> Tl2.create ~nregs ~nthreads:2 ())
       ~policy:Fence_policy.No_fences ~trials:(max 30 (trials / 3)) ~nregs
       Figures.fig6
@@ -229,7 +233,7 @@ let e7 () =
   print_model_verdict (Figures.fig1a_read_only_privatizer ~fenced:false ());
   print_model_verdict (Figures.fig1a_read_only_privatizer ~fenced:true ());
   let run ~fenced policy =
-    R.run_trials ~fuel:700_000
+    R.run_trials_auto ~fuel:700_000
       ~make_tm:(tl2_widened ~nthreads:3 ())
       ~policy ~trials ~nregs
       (Figures.fig1a_read_only_privatizer ~handshake:true ~fenced ())
@@ -404,6 +408,96 @@ let e11 () =
     "  (the flag scan may wait for transactions that began after it; the \
      epoch fence waits for at most one per thread)\n%!"
 
+(* ------------------------- JSON emission --------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path
+
+(* ------------------ trial-throughput benchmark ---------------------- *)
+
+(* End-to-end harness throughput: the same figure-program trial batch
+   once through the sequential runner and once through the domain-pool
+   runner.  fig2 (publication) is used because it is safe on TL2 with
+   no fences: every trial is "normal" work, no anomaly windows. *)
+let harness_bench () =
+  subsection "trial throughput: sequential vs parallel harness";
+  let bench_trials = max 24 (min trials 120) in
+  let fig = Figures.fig2 in
+  let make_tm () = Tl2.create ~nregs ~nthreads:2 () in
+  let policy = Fence_policy.No_fences in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq_stats, seq_s =
+    time (fun () ->
+        R.run_trials ~fuel:100_000 ~make_tm ~policy ~trials:bench_trials
+          ~nregs fig)
+  in
+  let domains = Pool.default_domains ~reserve:2 () in
+  let par_stats, par_s =
+    time (fun () ->
+        R.run_trials_parallel ~fuel:100_000 ~domains ~make_tm ~policy
+          ~trials:bench_trials ~nregs fig)
+  in
+  let speedup = seq_s /. par_s in
+  let seeds_identical = seq_stats.R.seeds = par_stats.R.seeds in
+  let counts (s : R.trial_stats) =
+    (s.R.violations, s.R.divergences, s.R.aborted_runs)
+  in
+  Printf.printf
+    "  %d trials of %s: sequential %.3fs, parallel (%d domains) %.3fs, \
+     speedup %.2fx\n%!"
+    bench_trials fig.Figures.f_name seq_s domains par_s speedup;
+  Printf.printf "  per-trial seeds identical: %b\n%!" seeds_identical;
+  if !json_mode then begin
+    let cores = Domain.recommended_domain_count () in
+    let sv, sd, sa = counts seq_stats and pv, pd, pa = counts par_stats in
+    let b = Buffer.create 512 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b "  \"schema\": \"bench/harness/v1\",\n";
+    Buffer.add_string b "  \"benchmark\": \"trial-throughput\",\n";
+    Printf.bprintf b "  \"figure\": \"%s\",\n"
+      (json_escape fig.Figures.f_name);
+    Buffer.add_string b "  \"tm\": \"tl2\",\n";
+    Printf.bprintf b "  \"policy\": \"%s\",\n" (Fence_policy.name policy);
+    Printf.bprintf b "  \"trials\": %d,\n" bench_trials;
+    Printf.bprintf b "  \"cores\": %d,\n" cores;
+    Printf.bprintf b "  \"domains\": %d,\n" domains;
+    Printf.bprintf b "  \"sequential_s\": %.6f,\n" seq_s;
+    Printf.bprintf b "  \"parallel_s\": %.6f,\n" par_s;
+    Printf.bprintf b "  \"speedup\": %.3f,\n" speedup;
+    Printf.bprintf b "  \"seeds_identical\": %b,\n" seeds_identical;
+    Printf.bprintf b
+      "  \"sequential\": {\"violations\": %d, \"divergences\": %d, \
+       \"aborted_runs\": %d},\n"
+      sv sd sa;
+    Printf.bprintf b
+      "  \"parallel\": {\"violations\": %d, \"divergences\": %d, \
+       \"aborted_runs\": %d}\n"
+      pv pd pa;
+    Buffer.add_string b "}\n";
+    write_file "BENCH_harness.json" (Buffer.contents b)
+  end
+
 (* ---------------------- bechamel micro suite ------------------------ *)
 
 let micro () =
@@ -478,11 +572,71 @@ let micro () =
              (Tm_opacity.Checker.is_opaque
                 (Tm_opacity.Checker.check_canonical sample_history))))
   in
+  (* relation-engine benchmarks: the closure-based acyclicity the
+     checkers used to pay on every candidate graph vs the early-exit
+     DFS, plus the single-source reachability query *)
+  let module Rel = Tm_relations.Rel in
+  let rel_n = 96 in
+  let rel_dag =
+    let r = Rel.create rel_n in
+    (* a spine plus random forward edges: connected, acyclic *)
+    for i = 0 to rel_n - 2 do
+      Rel.add r i (i + 1)
+    done;
+    let st = Random.State.make [| 0xbeef |] in
+    for _ = 1 to rel_n * 4 do
+      let i = Random.State.int st rel_n and j = Random.State.int st rel_n in
+      if i < j then Rel.add r i j
+    done;
+    r
+  in
+  let rel_cyclic =
+    let r = Rel.copy rel_dag in
+    Rel.add r (rel_n - 1) 0;
+    r
+  in
+  let t_closure =
+    Test.make ~name:"rel/transitive-closure"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Rel.transitive_closure rel_dag)))
+  in
+  let t_acyclic_closure =
+    Test.make ~name:"rel/is-acyclic-closure"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Rel.is_irreflexive (Rel.transitive_closure rel_dag))))
+  in
+  let t_acyclic_dfs =
+    Test.make ~name:"rel/is-acyclic-dfs"
+      (Staged.stage (fun () -> Sys.opaque_identity (Rel.is_acyclic rel_dag)))
+  in
+  let t_acyclic_dfs_cyclic =
+    Test.make ~name:"rel/is-acyclic-dfs-cyclic"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Rel.is_acyclic rel_cyclic)))
+  in
+  let t_reachable =
+    Test.make ~name:"rel/reachable"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Rel.reachable rel_dag 0 (rel_n - 1))))
+  in
+  let t_relations_of_history =
+    Test.make ~name:"relations/of-history"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Tm_relations.Relations.of_history sample_history)))
+  in
+  let t_monitor =
+    Test.make ~name:"monitor/check"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Tm_opacity.Monitor.check sample_history)))
+  in
   let tests =
     Test.make_grouped ~name:"tm"
       [
         t_read; t_write_commit; t_rmw; t_nt; t_fence_idle; t_norec; t_lock;
-        t_drf; t_opacity;
+        t_drf; t_opacity; t_closure; t_acyclic_closure; t_acyclic_dfs;
+        t_acyclic_dfs_cyclic; t_reachable; t_relations_of_history; t_monitor;
       ]
   in
   let benchmark () =
@@ -501,15 +655,39 @@ let micro () =
     results
   in
   let results = benchmark () in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun _instance tbl ->
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n%!" name est
+          | Some [ est ] -> estimates := (name, est) :: !estimates
           | _ -> Printf.printf "  %-32s (no estimate)\n%!" name)
         tbl)
-    results
+    results;
+  let estimates = List.sort compare !estimates in
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-36s %12.1f ns/run\n%!" name est)
+    estimates;
+  if !json_mode then begin
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b "  \"schema\": \"bench/relations/v1\",\n";
+    Buffer.add_string b
+      "  \"generated_by\": \"bench/main.exe micro --json\",\n";
+    Printf.bprintf b "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+    Buffer.add_string b "  \"unit\": \"ns/run\",\n";
+    Buffer.add_string b "  \"results\": [\n";
+    List.iteri
+      (fun i (name, est) ->
+        Printf.bprintf b "    {\"name\": \"%s\", \"ns_per_run\": %.3f}%s\n"
+          (json_escape name) est
+          (if i < List.length estimates - 1 then "," else ""))
+      estimates;
+    Buffer.add_string b "  ]\n}\n";
+    write_file "BENCH_relations.json" (Buffer.contents b)
+  end;
+  harness_bench ()
 
 (* ------------------------------ main ------------------------------- *)
 
@@ -521,10 +699,19 @@ let experiments =
   ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, names =
+    List.partition (fun a -> String.length a >= 2 && String.sub a 0 2 = "--") args
+  in
+  List.iter
+    (function
+      | "--json" -> json_mode := true
+      | f ->
+          Printf.eprintf "unknown flag %s (have: --json)\n" f;
+          exit 2)
+    flags;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match names with [] -> List.map fst experiments | names -> names
   in
   let t0 = Unix.gettimeofday () in
   List.iter

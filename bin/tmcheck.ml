@@ -183,7 +183,7 @@ let run_cmd =
                 ~nregs:Figures.nregs ~nthreads ()
             in
             let s =
-              R.run_trials ~fuel ~make_tm ~policy ~trials ~nregs:Figures.nregs
+              R.run_trials_auto ~fuel ~make_tm ~policy ~trials ~nregs:Figures.nregs
                 fig
             in
             report (s.R.trials, s.R.violations, s.R.divergences, s.R.aborted_runs)
@@ -193,7 +193,7 @@ let run_cmd =
               Tm_baselines.Norec.create ~nregs:Figures.nregs ~nthreads ()
             in
             let s =
-              R.run_trials ~fuel ~make_tm ~policy ~trials ~nregs:Figures.nregs
+              R.run_trials_auto ~fuel ~make_tm ~policy ~trials ~nregs:Figures.nregs
                 fig
             in
             report (s.R.trials, s.R.violations, s.R.divergences, s.R.aborted_runs)
@@ -203,7 +203,7 @@ let run_cmd =
               Tm_baselines.Global_lock.create ~nregs:Figures.nregs ~nthreads ()
             in
             let s =
-              R.run_trials ~fuel ~make_tm ~policy ~trials ~nregs:Figures.nregs
+              R.run_trials_auto ~fuel ~make_tm ~policy ~trials ~nregs:Figures.nregs
                 fig
             in
             report (s.R.trials, s.R.violations, s.R.divergences, s.R.aborted_runs)

@@ -23,10 +23,10 @@ type t = {
   delay_threads : int list option;  (** [None] = all threads *)
   commits : int Atomic.t;
   aborts : int Atomic.t;
-  timestamp_log : (int * int * int * int) list ref;
+  timestamp_log : (int * int * int * int) list Atomic.t;
       (** (thread, per-thread txn seq, rver, wver) per completed txn,
-          guarded by [log_mutex]; wver = max_int when none generated *)
-  log_mutex : Mutex.t;
+          newest first; lock-free CAS push so the log never serializes
+          committing threads (wver = max_int when none generated) *)
   txn_seq : int array;  (** per-thread count of begun transactions *)
 }
 
@@ -57,8 +57,7 @@ let create_with ?recorder ?(variant = Normal) ?(fence_impl = Flag_scan)
     delay_threads;
     commits = Atomic.make 0;
     aborts = Atomic.make 0;
-    timestamp_log = ref [];
-    log_mutex = Mutex.create ();
+    timestamp_log = Atomic.make [];
     txn_seq = Array.make nthreads 0;
   }
 
@@ -66,17 +65,16 @@ let create ?recorder ~nregs ~nthreads () = create_with ?recorder ~nregs ~nthread
 
 let clock t = Atomic.get t.clock
 
-let timestamp_log t =
-  Mutex.lock t.log_mutex;
-  let l = List.rev !(t.timestamp_log) in
-  Mutex.unlock t.log_mutex;
-  l
+let timestamp_log t = List.rev (Atomic.get t.timestamp_log)
 
 let record_timestamps t txn =
-  Mutex.lock t.log_mutex;
-  t.timestamp_log :=
-    (txn.thread, txn.seq, txn.rver, txn.wver) :: !(t.timestamp_log);
-  Mutex.unlock t.log_mutex
+  let entry = (txn.thread, txn.seq, txn.rver, txn.wver) in
+  let rec push () =
+    let old = Atomic.get t.timestamp_log in
+    if not (Atomic.compare_and_set t.timestamp_log old (entry :: old)) then
+      push ()
+  in
+  push ()
 let stats_commits t = Atomic.get t.commits
 let stats_aborts t = Atomic.get t.aborts
 

@@ -24,9 +24,9 @@ let is_opaque = function
 
 (* Build a graph with the given choices; on success extract and verify
    the witness. *)
-let try_graph (rels : Relations.t) ?vis_pending ?ww_orders () =
+let try_graph (rels : Relations.t) ?cache ?vis_pending ?ww_orders () =
   let h = rels.Relations.info.History.history in
-  match Graph.build ?vis_pending ?ww_orders rels with
+  match Graph.build ?cache ?vis_pending ?ww_orders rels with
   | Error msg -> Error (`Invalid msg)
   | Ok g ->
       if not (Graph.is_acyclic g) then Error `Cyclic
@@ -50,6 +50,15 @@ let check_canonical h =
       | Error `Witness_unverified ->
           Cyclic "canonical graph acyclic but witness failed verification")
 
+(* Each element of a list paired with the list without that occurrence
+   — removal is positional, so duplicate elements each keep their own
+   slot (filtering on structural equality would drop every duplicate
+   at once and lose candidate orders). *)
+let rec selections = function
+  | [] -> []
+  | x :: rest ->
+      (x, rest) :: List.map (fun (y, others) -> (y, x :: others)) (selections rest)
+
 (* All permutations of a list, lazily: the fallback search below must
    not materialize factorial-sized lists. *)
 let rec permutations (l : 'a list) : 'a list Seq.t =
@@ -57,10 +66,8 @@ let rec permutations (l : 'a list) : 'a list Seq.t =
   | [] -> Seq.return []
   | l ->
       Seq.concat_map
-        (fun x ->
-          let rest = List.filter (fun y -> y <> x) l in
-          Seq.map (fun p -> x :: p) (permutations rest))
-        (List.to_seq l)
+        (fun (x, rest) -> Seq.map (fun p -> x :: p) (permutations rest))
+        (List.to_seq (selections l))
 
 (* Cartesian product of lazy choice sequences. *)
 let rec product (choices : 'a Seq.t list) : 'a list Seq.t =
@@ -86,19 +93,38 @@ let check ?(exhaustive_limit = 20000) h =
       | Error (`Invalid msg) -> Invalid_graph msg
       | Error (`Cyclic | `Witness_unverified) -> (
           (* Fallback: enumerate visibility of commit-pending
-             transactions and WW orders per register. *)
+             transactions and WW orders per register.  The node
+             structure and the hb/rt lifts (and the hb closure used to
+             prune candidates) are shared across the whole
+             enumeration. *)
+          let cache = Graph.make_cache rels in
           let info = rels.Relations.info in
           let pending = Atomic_tm.commit_pending_txns info in
           let registers = List.map fst rels.Relations.wr in
           let found = ref None in
           let budget = ref exhaustive_limit in
           let vis_masks = subsets pending in
+          (* A WW order placing a before b while hb⁺ already orders b
+             before a closes a cycle no matter what the other choices
+             are — reject it without building the graph. *)
+          let ww_contradicts_hb ww_orders =
+            let hbc = Graph.cache_hb_closure cache in
+            List.exists
+              (fun (_, order) ->
+                let rec go = function
+                  | [] -> false
+                  | a :: rest ->
+                      List.exists (fun b -> Rel.mem hbc b a) rest || go rest
+                in
+                go order)
+              ww_orders
+          in
           List.iter
             (fun visible_set ->
               if !found = None && !budget > 0 then begin
                 let vis_pending k = List.mem k visible_set in
                 (* Writers per register under this vis choice. *)
-                match Graph.build ~vis_pending rels with
+                match Graph.build ~cache ~vis_pending rels with
                 | Error _ -> ()
                 | Ok g0 ->
                     let orders_per_reg =
@@ -116,11 +142,13 @@ let check ?(exhaustive_limit = 20000) h =
                         | None -> ()
                         | Some (ww_orders, rest) ->
                             decr budget;
-                            (match
-                               try_graph rels ~vis_pending ~ww_orders ()
-                             with
-                            | Ok s -> found := Some s
-                            | Error _ -> ());
+                            (if not (ww_contradicts_hb ww_orders) then
+                               match
+                                 try_graph rels ~cache ~vis_pending
+                                   ~ww_orders ()
+                               with
+                               | Ok s -> found := Some s
+                               | Error _ -> ());
                             consume rest
                     in
                     consume combos

@@ -45,3 +45,9 @@ val check_exhaustive_witness : ?node_limit:int -> History.t -> bool
 
 val strongly_opaque : History.t -> bool
 (** [is_opaque (check h)]. *)
+
+val permutations : 'a list -> 'a list Seq.t
+(** All permutations of a list, lazily.  Removal of the chosen head is
+    positional, so a list with [n] elements always yields [n!]
+    permutations even when elements compare equal (duplicate writers
+    must not collapse candidate [WW] orders).  Exposed for testing. *)

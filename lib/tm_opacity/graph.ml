@@ -84,19 +84,26 @@ let default_write_stamp (rels : Relations.t) = function
 
 let registers_of (rels : Relations.t) = List.map fst rels.Relations.wr
 
-let build ?vis_pending ?write_stamp ?(ww_orders = []) (rels : Relations.t) =
+(* Node structure and hb/rt node lifts depend only on the history, not
+   on the vis/ww choices, so the fallback search of [Checker.check] can
+   compute them once and reuse them across every candidate graph. *)
+type cache = {
+  c_nodes : node array;
+  c_node_of_action : int array;
+  c_hb : Rel.t;
+  c_rt : Rel.t;
+  c_hb_closure : Rel.t Lazy.t;
+}
+
+let node_structure (rels : Relations.t) =
   let info = rels.Relations.info in
-  let h = info.History.history in
-  let vis_pending =
-    match vis_pending with Some f -> f | None -> default_vis_pending rels
-  in
   let ntxns = Array.length info.History.txns in
   let naccs = Array.length info.History.accesses in
   let nnodes = ntxns + naccs in
   let nodes =
     Array.init nnodes (fun n -> if n < ntxns then Txn n else Access (n - ntxns))
   in
-  let n_actions = History.length h in
+  let n_actions = History.length info.History.history in
   let node_of_action = Array.make n_actions (-1) in
   for i = 0 to n_actions - 1 do
     if info.History.txn_of.(i) >= 0 then
@@ -104,6 +111,44 @@ let build ?vis_pending ?write_stamp ?(ww_orders = []) (rels : Relations.t) =
     else if info.History.access_of.(i) >= 0 then
       node_of_action.(i) <- ntxns + info.History.access_of.(i)
   done;
+  (nodes, node_of_action)
+
+(* Lift an action-level relation to nodes, dropping self edges and
+   actions outside every node (fence actions). *)
+let lift_rel ~nnodes ~node_of_action rel =
+  let r = Rel.create nnodes in
+  Rel.iter_pairs rel (fun i j ->
+      let ni = node_of_action.(i) and nj = node_of_action.(j) in
+      if ni >= 0 && nj >= 0 && ni <> nj then Rel.add r ni nj);
+  r
+
+let make_cache (rels : Relations.t) =
+  let nodes, node_of_action = node_structure rels in
+  let nnodes = Array.length nodes in
+  let hb = lift_rel ~nnodes ~node_of_action rels.Relations.hb in
+  let rt = lift_rel ~nnodes ~node_of_action rels.Relations.rt in
+  {
+    c_nodes = nodes;
+    c_node_of_action = node_of_action;
+    c_hb = hb;
+    c_rt = rt;
+    c_hb_closure = lazy (Rel.transitive_closure hb);
+  }
+
+let cache_hb_closure cache = Lazy.force cache.c_hb_closure
+
+let build ?cache ?vis_pending ?write_stamp ?(ww_orders = [])
+    (rels : Relations.t) =
+  let info = rels.Relations.info in
+  let vis_pending =
+    match vis_pending with Some f -> f | None -> default_vis_pending rels
+  in
+  let nodes, node_of_action =
+    match cache with
+    | Some c -> (c.c_nodes, c.c_node_of_action)
+    | None -> node_structure rels
+  in
+  let nnodes = Array.length nodes in
   let vis =
     Array.init nnodes (fun n ->
         match nodes.(n) with
@@ -133,17 +178,13 @@ let build ?vis_pending ?write_stamp ?(ww_orders = []) (rels : Relations.t) =
     | Some f -> f
     | None -> fun node -> default_write_stamp rels node
   in
-  (* Lift an action-level relation to nodes, dropping self edges and
-     actions outside every node (fence actions). *)
-  let lift rel =
-    let r = Rel.create nnodes in
-    Rel.iter_pairs rel (fun i j ->
-        let ni = node_of_action.(i) and nj = node_of_action.(j) in
-        if ni >= 0 && nj >= 0 && ni <> nj then Rel.add r ni nj);
-    r
+  let lift = lift_rel ~nnodes ~node_of_action in
+  let hb, rt =
+    (* shared read-only across candidate graphs when cached *)
+    match cache with
+    | Some c -> (c.c_hb, c.c_rt)
+    | None -> (lift rels.Relations.hb, lift rels.Relations.rt)
   in
-  let hb = lift rels.Relations.hb in
-  let rt = lift rels.Relations.rt in
   let registers = registers_of rels in
   let error = ref None in
   let wr =

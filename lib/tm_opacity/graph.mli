@@ -50,7 +50,21 @@ val default_write_stamp : Relations.t -> node -> int
     completed transaction's completion action, a commit-pending
     transaction's [txcommit]. *)
 
+type cache
+(** History-level data shared by every member of [Graph(H)]: the node
+    structure and the hb/rt node lifts (plus, lazily, the transitive
+    closure of the lifted hb).  The fallback search of
+    [Checker.check] computes it once and reuses it across the whole
+    vis/ww candidate enumeration. *)
+
+val make_cache : Relations.t -> cache
+
+val cache_hb_closure : cache -> Rel.t
+(** The node-level [hb⁺], computed once per cache on first use.  Any
+    candidate [WW] order contradicting it is cyclic outright. *)
+
 val build :
+  ?cache:cache ->
   ?vis_pending:(int -> bool) ->
   ?write_stamp:(node -> int) ->
   ?ww_orders:(Types.reg * int list) list ->

@@ -69,6 +69,10 @@ type t = {
   vinit_readers : (Types.reg, int list) Hashtbl.t;
   mutable state : verdict;
   mutable dirty : bool;  (** edges added since the last acyclicity check *)
+  mutable fresh_edges : (int * int) list;
+      (** the edges added since the last acyclicity check: the graph
+          was acyclic before them, so any new cycle passes through one
+          of them *)
 }
 
 let create ~threads =
@@ -91,6 +95,7 @@ let create ~threads =
     vinit_readers = Hashtbl.create 8;
     state = Ok;
     dirty = false;
+    fresh_edges = [];
   }
 
 let node_count m = Vec.length m.nodes
@@ -102,7 +107,8 @@ let add_edge m a b =
     if not (List.mem b l) then begin
       Hashtbl.replace m.succ a (b :: l);
       m.edges <- m.edges + 1;
-      m.dirty <- true
+      m.dirty <- true;
+      m.fresh_edges <- (a, b) :: m.fresh_edges
     end
   end
 
@@ -218,28 +224,30 @@ let process_read m k x v ~local =
           end
         end
 
-(* Kahn's algorithm over the adjacency lists. *)
-let acyclic m =
+(* Incremental acyclicity: the graph was acyclic at the previous
+   check, so a cycle must pass through an edge added since then.  An
+   edge (a, b) lies on a cycle iff b reaches a — one DFS per fresh
+   edge instead of a full Kahn pass over all nodes on every action. *)
+let reaches m src dst =
   let n = Vec.length m.nodes in
-  let indeg = Array.make n 0 in
-  Hashtbl.iter
-    (fun _ succs -> List.iter (fun b -> indeg.(b) <- indeg.(b) + 1) succs)
-    m.succ;
-  let queue = Queue.create () in
-  for i = 0 to n - 1 do
-    if indeg.(i) = 0 then Queue.add i queue
-  done;
-  let seen = ref 0 in
-  while not (Queue.is_empty queue) do
-    let i = Queue.pop queue in
-    incr seen;
-    List.iter
-      (fun b ->
-        indeg.(b) <- indeg.(b) - 1;
-        if indeg.(b) = 0 then Queue.add b queue)
-      (match Hashtbl.find_opt m.succ i with Some l -> l | None -> [])
-  done;
-  !seen = n
+  let seen = Array.make n false in
+  let rec go v =
+    v = dst
+    || ((not seen.(v))
+       && begin
+            seen.(v) <- true;
+            List.exists go
+              (match Hashtbl.find_opt m.succ v with
+              | Some l -> l
+              | None -> [])
+          end)
+  in
+  go src
+
+let cycle_via_fresh_edges m =
+  let hit = List.exists (fun (a, b) -> reaches m b a) m.fresh_edges in
+  m.fresh_edges <- [];
+  hit
 
 let step m (a : Action.t) =
   if m.state = Ok then begin
@@ -365,7 +373,7 @@ let step m (a : Action.t) =
     if m.cur_txn_node.(t) >= 0 then refresh_hb_into m (m.cur_txn_node.(t));
     if m.state = Ok && m.dirty then begin
       m.dirty <- false;
-      if not (acyclic m) then m.state <- Cyclic
+      if cycle_via_fresh_edges m then m.state <- Cyclic
     end
   end
 

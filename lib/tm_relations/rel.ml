@@ -93,7 +93,97 @@ let is_irreflexive r =
   let rec go i = i >= r.n || ((not (mem r i i)) && go (i + 1)) in
   go 0
 
-let is_acyclic r = is_irreflexive (transitive_closure r)
+(* Early-exit cycle check: iterative three-colour DFS straight over the
+   bitset rows.  O(n + edges) and no closure materialization, against
+   the O(n³) Warshall route; bails out on the first back edge. *)
+let is_acyclic r =
+  let n = r.n in
+  if n = 0 || r.words = 0 then true
+  else begin
+    (* 0 = unvisited, 1 = on the DFS stack, 2 = finished *)
+    let color = Array.make n 0 in
+    (* explicit stack: node, current word index, remaining bits of it *)
+    let node_st = Array.make n 0 in
+    let word_st = Array.make n 0 in
+    let bits_st = Array.make n 0 in
+    let cyclic = ref false in
+    let root = ref 0 in
+    while (not !cyclic) && !root < n do
+      if color.(!root) = 0 then begin
+        let sp = ref 0 in
+        let push v =
+          color.(v) <- 1;
+          node_st.(!sp) <- v;
+          word_st.(!sp) <- 0;
+          bits_st.(!sp) <- r.rows.(v).(0);
+          incr sp
+        in
+        push !root;
+        while (not !cyclic) && !sp > 0 do
+          let top = !sp - 1 in
+          let v = node_st.(top) in
+          let w = ref word_st.(top) in
+          let bits = ref bits_st.(top) in
+          while !bits = 0 && !w + 1 < r.words do
+            incr w;
+            bits := r.rows.(v).(!w)
+          done;
+          if !bits = 0 then begin
+            color.(v) <- 2;
+            decr sp
+          end
+          else begin
+            let b = !bits land - !bits in
+            word_st.(top) <- !w;
+            bits_st.(top) <- !bits lxor b;
+            let j = (!w * bits_per_word) + bit_position 0 b in
+            match color.(j) with
+            | 0 -> push j
+            | 1 -> cyclic := true
+            | _ -> ()
+          end
+        done
+      end;
+      incr root
+    done;
+    not !cyclic
+  end
+
+let reachable r i j =
+  let n = r.n in
+  if n = 0 || r.words = 0 then false
+  else begin
+    let jw = j / bits_per_word and jb = 1 lsl (j mod bits_per_word) in
+    let visited = Array.make r.words 0 in
+    let work = Array.make n 0 in
+    let sp = ref 0 in
+    let found = ref false in
+    (* enqueue v's unvisited successors; detect j in v's row directly *)
+    let expand v =
+      let row = r.rows.(v) in
+      if row.(jw) land jb <> 0 then found := true
+      else
+        for w = 0 to r.words - 1 do
+          let fresh = row.(w) land lnot visited.(w) in
+          if fresh <> 0 then begin
+            visited.(w) <- visited.(w) lor fresh;
+            let bits = ref fresh in
+            while !bits <> 0 do
+              let b = !bits land - !bits in
+              work.(!sp) <- (w * bits_per_word) + bit_position 0 b;
+              incr sp;
+              bits := !bits lxor b
+            done
+          end
+        done
+    in
+    expand i;
+    while (not !found) && !sp > 0 do
+      decr sp;
+      expand work.(!sp)
+    done;
+    !found
+  end
 
 let iter_pairs r f =
   for i = 0 to r.n - 1 do

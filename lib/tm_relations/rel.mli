@@ -35,8 +35,16 @@ val close_into : t -> unit
 (** In-place transitive closure. *)
 
 val is_irreflexive : t -> bool
+
 val is_acyclic : t -> bool
-(** No cycle, i.e. the transitive closure is irreflexive. *)
+(** No cycle — equivalent to the transitive closure being irreflexive,
+    but implemented as an early-exit iterative DFS over the bitset
+    rows: O(n + edges), no closure materialization. *)
+
+val reachable : t -> int -> int -> bool
+(** [reachable r i j] iff [(i,j) ∈ r⁺] (a path of one or more edges) —
+    a single-source search, equivalent to
+    [mem (transitive_closure r) i j] without building the closure. *)
 
 val iter_pairs : t -> (int -> int -> unit) -> unit
 val fold_pairs : t -> ('a -> int -> int -> 'a) -> 'a -> 'a

@@ -38,6 +38,13 @@ let next_own_txbegin (h : History.t) =
   done;
   next
 
+(* [add_cross r xs ys] adds every (i, j) with i ∈ xs, j ∈ ys, i < j.
+   Both lists ascending; used to build the structurally sparse
+   relations directly instead of probing all n² pairs with a
+   predicate. *)
+let add_cross r xs ys =
+  List.iter (fun i -> List.iter (fun j -> if i < j then Rel.add r i j) ys) xs
+
 let compute (info : History.info) : t =
   let h = info.History.history in
   let n = History.length h in
@@ -45,31 +52,64 @@ let compute (info : History.info) : t =
   let thread i = (act i).Action.thread in
   let kind i = (act i).Action.kind in
   let is_nontxn i = info.History.txn_of.(i) = -1 in
-  let po = Rel.of_pred n (fun i j -> i < j && thread i = thread j) in
+  let nthreads =
+    Array.fold_left (fun m (a : Action.t) -> max m (a.Action.thread + 1)) 0 h
+  in
+  (* per-thread action indices, ascending *)
+  let by_thread = Array.make nthreads [] in
+  for i = n - 1 downto 0 do
+    by_thread.(thread i) <- i :: by_thread.(thread i)
+  done;
+  (* po and xpo are per-thread chains: walk each thread's index list
+     instead of testing the predicate on all n² pairs *)
+  let po = Rel.create n in
+  let xpo = Rel.create n in
   let next_txbegin = next_own_txbegin h in
-  let xpo =
-    Rel.of_pred n (fun i j ->
-        i < j && thread i = thread j && next_txbegin.(i) < j)
+  Array.iter
+    (fun idxs ->
+      let rec pairs = function
+        | [] -> ()
+        | i :: rest ->
+            List.iter
+              (fun j ->
+                Rel.add po i j;
+                if next_txbegin.(i) < j then Rel.add xpo i j)
+              rest;
+            pairs rest
+      in
+      pairs idxs)
+    by_thread;
+  (* the remaining base relations connect small index classes; collect
+     each class once and add the cross edges directly *)
+  let collect p =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if p i then acc := i :: !acc
+    done;
+    !acc
   in
-  let cl = Rel.of_pred n (fun i j -> i < j && is_nontxn i && is_nontxn j) in
-  let af =
-    Rel.of_pred n (fun i j ->
-        i < j
-        && Action.equal_kind (kind i) (Action.Request Action.Fbegin)
-        && Action.equal_kind (kind j) (Action.Request Action.Txbegin))
+  let nontxns = collect is_nontxn in
+  let fbegins =
+    collect (fun i ->
+        Action.equal_kind (kind i) (Action.Request Action.Fbegin))
   in
-  let bf =
-    Rel.of_pred n (fun i j ->
-        i < j
-        && Action.is_completion (act i)
-        && Action.equal_kind (kind j) (Action.Response Action.Fend))
+  let txbegins =
+    collect (fun i ->
+        Action.equal_kind (kind i) (Action.Request Action.Txbegin))
   in
-  let rt =
-    Rel.of_pred n (fun i j ->
-        i < j
-        && Action.is_completion (act i)
-        && Action.equal_kind (kind j) (Action.Request Action.Txbegin))
+  let fends =
+    collect (fun i ->
+        Action.equal_kind (kind i) (Action.Response Action.Fend))
   in
+  let completions = collect (fun i -> Action.is_completion (act i)) in
+  let cl = Rel.create n in
+  add_cross cl nontxns nontxns;
+  let af = Rel.create n in
+  add_cross af fbegins txbegins;
+  let bf = Rel.create n in
+  add_cross bf completions fends;
+  let rt = Rel.create n in
+  add_cross rt completions txbegins;
   (* Read dependencies: with unique written values, each read response
      [ret(v)] (v ≠ vinit) has at most one writer. *)
   let writer_of_value = Hashtbl.create 16 in

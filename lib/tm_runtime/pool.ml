@@ -1,0 +1,142 @@
+(* A reusable pool of worker domains executing batches of independent
+   tasks.  Workers are spawned once and block on a condition variable
+   between batches; each batch hands out task indices through an atomic
+   counter, so the scheduling is dynamic (a slow task does not stall
+   the others) while the set of executed indices is exactly
+   [0 .. tasks-1].  The caller participates in every batch, so a pool
+   of [domains = 1] runs tasks inline with no spawning at all. *)
+
+type job = {
+  j_run : int -> unit;
+  j_tasks : int;
+  j_next : int Atomic.t;
+  mutable j_pending : int;  (* participants still draining this job *)
+  mutable j_error : exn option;  (* first exception raised by a task *)
+}
+
+type t = {
+  p_domains : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* a new batch arrived, or shutdown *)
+  finished : Condition.t;  (* a participant drained the batch *)
+  mutable generation : int;
+  mutable job : job option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let parallel_enabled () =
+  match Sys.getenv_opt "PARALLEL" with
+  | Some ("0" | "false" | "no") -> false
+  | _ -> true
+
+let default_domains ?(reserve = 0) () =
+  if not (parallel_enabled ()) then 1
+  else
+    let available = max 1 (Domain.recommended_domain_count () - reserve) in
+    match Sys.getenv_opt "PARALLEL" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> n
+        | _ -> available)
+    | None -> available
+
+let domains t = t.p_domains
+
+(* Pull task indices until the batch is exhausted, then check out. *)
+let drain t job =
+  let rec pull () =
+    let i = Atomic.fetch_and_add job.j_next 1 in
+    if i < job.j_tasks then begin
+      (try job.j_run i
+       with e ->
+         Mutex.lock t.mutex;
+         if job.j_error = None then job.j_error <- Some e;
+         Mutex.unlock t.mutex);
+      pull ()
+    end
+  in
+  pull ();
+  Mutex.lock t.mutex;
+  job.j_pending <- job.j_pending - 1;
+  if job.j_pending = 0 then Condition.broadcast t.finished;
+  Mutex.unlock t.mutex
+
+let rec worker_loop t last_gen =
+  Mutex.lock t.mutex;
+  while (not t.stop) && t.generation = last_gen do
+    Condition.wait t.work t.mutex
+  done;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    let gen = t.generation in
+    let job = match t.job with Some j -> j | None -> assert false in
+    Mutex.unlock t.mutex;
+    drain t job;
+    worker_loop t gen
+  end
+
+let create ?domains () =
+  let p_domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let t =
+    {
+      p_domains;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      generation = 0;
+      job = None;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (p_domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let run t ~tasks f =
+  if tasks > 0 then begin
+    let job =
+      {
+        j_run = f;
+        j_tasks = tasks;
+        j_next = Atomic.make 0;
+        j_pending = t.p_domains;
+        j_error = None;
+      }
+    in
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool has been shut down"
+    end;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    drain t job;
+    Mutex.lock t.mutex;
+    while job.j_pending > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    t.job <- None;
+    Mutex.unlock t.mutex;
+    match job.j_error with Some e -> raise e | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+  else Mutex.unlock t.mutex
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,47 @@
+(** A reusable pool of worker domains for embarrassingly parallel
+    batches of tasks — the scheduler behind
+    [Tm_workloads.Runner.run_trials_parallel].
+
+    Workers are spawned once at {!create} and reused across {!run}
+    batches; within a batch, task indices are handed out dynamically
+    through an atomic counter.  The calling domain participates in
+    every batch, so a pool with [domains = 1] degenerates to a plain
+    sequential loop.  Tasks must be independent: they may themselves
+    spawn domains (the trial runner does), but must not call back into
+    the same pool. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains
+    (default {!default_domains}).  [domains] is clamped to at least
+    1. *)
+
+val domains : t -> int
+(** Number of participants per batch (workers + the caller). *)
+
+val run : t -> tasks:int -> (int -> unit) -> unit
+(** [run t ~tasks f] executes [f i] for every [i] in [0 .. tasks-1],
+    each exactly once, sharded across the pool; returns when all are
+    done.  If some task raises, the first such exception is re-raised
+    in the caller after the batch has drained.  Batches are not
+    reentrant: [run] must not be called from inside a task or from two
+    domains concurrently. *)
+
+val shutdown : t -> unit
+(** Join all workers.  The pool must be idle; further [run]s fail. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], apply, then [shutdown] (also on exception). *)
+
+val parallel_enabled : unit -> bool
+(** False iff the environment variable [PARALLEL] is set to [0],
+    [false] or [no] — the escape hatch forcing sequential trials. *)
+
+val default_domains : ?reserve:int -> unit -> int
+(** Pool size respecting the [PARALLEL] environment variable:
+    [PARALLEL=0] gives 1; [PARALLEL=n] gives [n]; unset (or
+    non-numeric) gives [Domain.recommended_domain_count () - reserve],
+    clamped to at least 1.  [reserve] accounts for domains each task
+    spawns on its own (the trial runner spawns one per program
+    thread). *)

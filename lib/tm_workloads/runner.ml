@@ -125,36 +125,104 @@ module Make (T : Tm_runtime.Tm_intf.S) = struct
     violations : int;
     divergences : int;
     aborted_runs : int;
+    seeds : int list;
   }
 
-  let run_trials ?fuel ~make_tm ~policy ~trials ~nregs (fig : Figures.figure)
-      =
-    let program = Policy.apply policy fig.Figures.f_program in
+  (* SplitMix-style avalanche so per-trial seeds are deterministic and
+     depend only on (seed, trial index), never on which worker domain
+     happens to run the trial. *)
+  let trial_seed ~seed trial =
+    let z = seed + (trial * 0x9e3779b9) in
+    let z = (z lxor (z lsr 16)) * 0x85ebca6b in
+    let z = (z lxor (z lsr 13)) * 0xc2b2ae35 in
+    (z lxor (z lsr 16)) land max_int
+
+  (* One trial on a fresh TM; returns (diverged, violated, aborted). *)
+  let run_one_trial ?fuel ~make_tm ~policy ~nregs ~program
+      (fig : Figures.figure) tseed =
+    Random.init tseed;
+    let tm = make_tm () in
+    let result = exec ?fuel ~policy tm program in
+    let regs = read_registers tm nregs in
+    let diverged = Array.exists Fun.id result.r_diverged in
+    (* A diverged run has incomplete environments; count it as a
+       divergence (the doomed-transaction symptom), not as a
+       postcondition violation. *)
+    let violated =
+      (not diverged) && not (fig.Figures.f_post result.r_envs regs)
+    in
+    let aborted =
+      Array.exists
+        (fun env -> List.exists (fun (_, v) -> v = Ast.aborted) env)
+        result.r_envs
+    in
+    (diverged, violated, aborted)
+
+  let stats_of_outcomes ~seeds outcomes =
     let violations = ref 0 in
     let divergences = ref 0 in
     let aborted_runs = ref 0 in
-    for _ = 1 to trials do
-      let tm = make_tm () in
-      let result = exec ?fuel ~policy tm program in
-      let regs = read_registers tm nregs in
-      let diverged = Array.exists Fun.id result.r_diverged in
-      (* A diverged run has incomplete environments; count it as a
-         divergence (the doomed-transaction symptom), not as a
-         postcondition violation. *)
-      if diverged then incr divergences
-      else if not (fig.Figures.f_post result.r_envs regs) then
-        incr violations;
-      if
-        Array.exists
-          (fun env ->
-            List.exists (fun (_, v) -> v = Ast.aborted) env)
-          result.r_envs
-      then incr aborted_runs
-    done;
+    Array.iter
+      (fun (diverged, violated, aborted) ->
+        if diverged then incr divergences;
+        if violated then incr violations;
+        if aborted then incr aborted_runs)
+      outcomes;
     {
-      trials;
+      trials = Array.length outcomes;
       violations = !violations;
       divergences = !divergences;
       aborted_runs = !aborted_runs;
+      seeds = Array.to_list seeds;
     }
+
+  let run_trials ?fuel ?(seed = 0) ~make_tm ~policy ~trials ~nregs
+      (fig : Figures.figure) =
+    let program = Policy.apply policy fig.Figures.f_program in
+    let seeds = Array.init trials (trial_seed ~seed) in
+    let outcomes =
+      Array.map
+        (run_one_trial ?fuel ~make_tm ~policy ~nregs ~program fig)
+        seeds
+    in
+    stats_of_outcomes ~seeds outcomes
+
+  let run_trials_parallel ?fuel ?(seed = 0) ?pool ?domains ~make_tm ~policy
+      ~trials ~nregs (fig : Figures.figure) =
+    let program = Policy.apply policy fig.Figures.f_program in
+    let seeds = Array.init trials (trial_seed ~seed) in
+    let outcomes = Array.make trials (false, false, false) in
+    let body pool =
+      Tm_runtime.Pool.run pool ~tasks:trials (fun i ->
+          outcomes.(i) <-
+            run_one_trial ?fuel ~make_tm ~policy ~nregs ~program fig
+              seeds.(i))
+    in
+    (match pool with
+    | Some p -> body p
+    | None ->
+        (* each trial spawns one domain per program thread; leave room
+           for them so the host is not oversubscribed *)
+        let domains =
+          match domains with
+          | Some d -> d
+          | None ->
+              Tm_runtime.Pool.default_domains
+                ~reserve:(Array.length program) ()
+        in
+        Tm_runtime.Pool.with_pool ~domains body);
+    stats_of_outcomes ~seeds outcomes
+
+  let run_trials_auto ?fuel ?seed ?pool ?domains ~make_tm ~policy ~trials
+      ~nregs fig =
+    let want_parallel =
+      match (pool, domains) with
+      | Some p, _ -> Tm_runtime.Pool.domains p > 1
+      | None, Some d -> d > 1
+      | None, None -> Tm_runtime.Pool.default_domains () > 1
+    in
+    if Tm_runtime.Pool.parallel_enabled () && want_parallel then
+      run_trials_parallel ?fuel ?seed ?pool ?domains ~make_tm ~policy
+        ~trials ~nregs fig
+    else run_trials ?fuel ?seed ~make_tm ~policy ~trials ~nregs fig
 end

@@ -38,10 +38,19 @@ module Make (T : Tm_runtime.Tm_intf.S) : sig
     violations : int;  (** runs where the postcondition failed *)
     divergences : int;  (** runs where some thread diverged *)
     aborted_runs : int;  (** runs where some atomic block aborted *)
+    seeds : int list;
+        (** per-trial RNG seeds, in trial order — identical between
+            the sequential and parallel runners for a given [seed] *)
   }
+
+  val trial_seed : seed:int -> int -> int
+  (** [trial_seed ~seed i] is the deterministic RNG seed of trial [i]:
+      a SplitMix-style hash of [(seed, i)], independent of scheduling
+      and of which pool worker runs the trial. *)
 
   val run_trials :
     ?fuel:int ->
+    ?seed:int ->
     make_tm:(unit -> T.t) ->
     policy:Tm_runtime.Fence_policy.t ->
     trials:int ->
@@ -50,5 +59,41 @@ module Make (T : Tm_runtime.Tm_intf.S) : sig
     trial_stats
   (** Repeatedly run a figure program (rewritten under [policy]) on
       fresh TM instances and count postcondition violations and doomed
-      divergences. *)
+      divergences.  Trials run sequentially on the calling domain;
+      trial [i] seeds its domain RNG with [trial_seed ~seed i]
+      (default [seed] 0). *)
+
+  val run_trials_parallel :
+    ?fuel:int ->
+    ?seed:int ->
+    ?pool:Tm_runtime.Pool.t ->
+    ?domains:int ->
+    make_tm:(unit -> T.t) ->
+    policy:Tm_runtime.Fence_policy.t ->
+    trials:int ->
+    nregs:int ->
+    Figures.figure ->
+    trial_stats
+  (** Same trials as {!run_trials} — same per-trial seeds, same
+      aggregation order — but sharded across a {!Tm_runtime.Pool} of
+      worker domains (trials own private TM instances, so they are
+      embarrassingly parallel).  Uses [pool] when given, otherwise a
+      throwaway pool of [domains] workers (default:
+      [Pool.default_domains] with one slot reserved per program
+      thread). *)
+
+  val run_trials_auto :
+    ?fuel:int ->
+    ?seed:int ->
+    ?pool:Tm_runtime.Pool.t ->
+    ?domains:int ->
+    make_tm:(unit -> T.t) ->
+    policy:Tm_runtime.Fence_policy.t ->
+    trials:int ->
+    nregs:int ->
+    Figures.figure ->
+    trial_stats
+  (** {!run_trials_parallel} when the [PARALLEL] environment variable
+      allows it and more than one domain is available, otherwise
+      {!run_trials}.  [PARALLEL=0] is the sequential escape hatch. *)
 end

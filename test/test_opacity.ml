@@ -259,6 +259,31 @@ let test_checker_fallback_ww_orders () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "expected rejection of bad ww_orders")
 
+let test_permutations_with_duplicates () =
+  (* Regression: the old implementation removed the pivot with
+     List.filter, which drops *every* occurrence of a duplicate element
+     and so under-enumerates (e.g. [1;1;2] produced only 3 candidate
+     orders).  Positional removal must yield all n! sequences. *)
+  let perms l = List.of_seq (Checker.permutations l) in
+  check Alcotest.int "3! perms of [1;1;2]" 6
+    (List.length (perms [ 1; 1; 2 ]));
+  let sorted = List.sort compare (perms [ 1; 1; 2 ]) in
+  check
+    Alcotest.(list (list int))
+    "multiset preserved"
+    [
+      [ 1; 1; 2 ]; [ 1; 1; 2 ]; [ 1; 2; 1 ]; [ 1; 2; 1 ];
+      [ 2; 1; 1 ]; [ 2; 1; 1 ];
+    ]
+    sorted;
+  check Alcotest.int "4! perms of [0;0;0;0]" 24
+    (List.length (perms [ 0; 0; 0; 0 ]));
+  check Alcotest.(list (list int)) "empty list" [ [] ] (perms []);
+  let distinct = perms [ 1; 2; 3 ] in
+  check Alcotest.int "3! perms of distinct" 6 (List.length distinct);
+  check Alcotest.int "all distinct orders present" 6
+    (List.length (List.sort_uniq compare distinct))
+
 let test_graph_invalid_vis () =
   (* forcing a read-from commit-pending transaction invisible violates
      Definition 6.3 *)
@@ -525,6 +550,8 @@ let () =
             test_delayed_commit_checker_agrees_oracle;
           Alcotest.test_case "fallback WW enumeration" `Quick
             test_checker_fallback_ww_orders;
+          Alcotest.test_case "permutations keep duplicates" `Quick
+            test_permutations_with_duplicates;
           Alcotest.test_case "invalid visibility rejected" `Quick
             test_graph_invalid_vis;
         ] );

@@ -262,6 +262,81 @@ let prop_compose_subset_closure =
       let c = Rel.transitive_closure r in
       Rel.fold_pairs rr (fun acc i j -> acc && Rel.mem c i j) true)
 
+(* Oracle for the early-exit DFS paths: the closure-based definitions
+   they replaced. *)
+let acyclic_oracle r = Rel.is_irreflexive (Rel.transitive_closure r)
+let reachable_oracle r i j = Rel.mem (Rel.transitive_closure r) i j
+
+let prop_acyclic_matches_closure_oracle =
+  QCheck.Test.make
+    ~name:"early-exit is_acyclic agrees with the closure-based oracle"
+    ~count:1000
+    (QCheck.make (rel_gen 14))
+    (fun pairs ->
+      let r = Rel.create 14 in
+      List.iter (fun (i, j) -> Rel.add r i j) pairs;
+      Rel.is_acyclic r = acyclic_oracle r)
+
+let prop_reachable_matches_closure =
+  QCheck.Test.make
+    ~name:"reachable agrees with transitive-closure membership" ~count:400
+    (QCheck.make (rel_gen 12))
+    (fun pairs ->
+      let r = Rel.create 12 in
+      List.iter (fun (i, j) -> Rel.add r i j) pairs;
+      let ok = ref true in
+      for i = 0 to 11 do
+        for j = 0 to 11 do
+          if Rel.reachable r i j <> reachable_oracle r i j then ok := false
+        done
+      done;
+      !ok)
+
+let test_acyclic_random_dags () =
+  (* graphs whose edges all point forward are DAGs by construction *)
+  let st = Random.State.make [| 7; 11 |] in
+  for _ = 1 to 50 do
+    let n = 2 + Random.State.int st 60 in
+    let r = Rel.create n in
+    for _ = 1 to n * 3 do
+      let i = Random.State.int st n and j = Random.State.int st n in
+      if i < j then Rel.add r i j
+    done;
+    check bool "forward-edge graph is acyclic" true (Rel.is_acyclic r);
+    check bool "oracle agrees" true (acyclic_oracle r)
+  done
+
+let test_acyclic_random_cyclic () =
+  (* a random forward DAG plus one closing back edge along a spine *)
+  let st = Random.State.make [| 13; 17 |] in
+  for _ = 1 to 50 do
+    let n = 3 + Random.State.int st 60 in
+    let r = Rel.create n in
+    for i = 0 to n - 2 do
+      Rel.add r i (i + 1)
+    done;
+    for _ = 1 to n * 2 do
+      let i = Random.State.int st n and j = Random.State.int st n in
+      if i < j then Rel.add r i j
+    done;
+    let k = 1 + Random.State.int st (n - 1) in
+    Rel.add r k 0;
+    check bool "graph with a back edge is cyclic" false (Rel.is_acyclic r);
+    check bool "oracle agrees" false (acyclic_oracle r)
+  done
+
+let test_reachable_basics () =
+  let r = Rel.create 6 in
+  Rel.add r 0 1;
+  Rel.add r 1 2;
+  Rel.add r 3 4;
+  check bool "one step" true (Rel.reachable r 0 1);
+  check bool "two steps" true (Rel.reachable r 0 2);
+  check bool "disconnected" false (Rel.reachable r 0 4);
+  check bool "not reflexive without a cycle" false (Rel.reachable r 0 0);
+  Rel.add r 2 0;
+  check bool "reflexive through a cycle" true (Rel.reachable r 0 0)
+
 let prop_toposort_respects_rel =
   QCheck.Test.make ~name:"topological sort respects the relation"
     ~count:200
@@ -286,6 +361,12 @@ let () =
           Alcotest.test_case "acyclicity" `Quick test_rel_acyclic;
           Alcotest.test_case "topological sort" `Quick test_rel_toposort;
           Alcotest.test_case "multi-word rows" `Quick test_rel_large_indices;
+          Alcotest.test_case "acyclic on random DAGs" `Quick
+            test_acyclic_random_dags;
+          Alcotest.test_case "cyclic on random cyclic graphs" `Quick
+            test_acyclic_random_cyclic;
+          Alcotest.test_case "reachability basics" `Quick
+            test_reachable_basics;
         ] );
       ( "hb components",
         [
@@ -323,6 +404,8 @@ let () =
           [
             prop_closure_idempotent;
             prop_compose_subset_closure;
+            prop_acyclic_matches_closure_oracle;
+            prop_reachable_matches_closure;
             prop_toposort_respects_rel;
             prop_online_verdict_matches_offline;
             prop_online_races_sound;

@@ -444,6 +444,46 @@ let test_fence_policy_matrix () =
         (of_string (name p) = Some p))
     all
 
+(* --------------------------- domain pool --------------------------- *)
+
+let test_pool_runs_each_task_once () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let tasks = 100 in
+          let hits = Array.init tasks (fun _ -> Atomic.make 0) in
+          Pool.run pool ~tasks (fun i -> Atomic.incr hits.(i));
+          Array.iteri
+            (fun i c ->
+              check int
+                (Printf.sprintf "task %d once (domains=%d)" i domains)
+                1 (Atomic.get c))
+            hits;
+          (* the pool is reusable for a second batch *)
+          let again = Atomic.make 0 in
+          Pool.run pool ~tasks:7 (fun _ -> Atomic.incr again);
+          check int "second batch complete" 7 (Atomic.get again)))
+    [ 1; 4 ]
+
+let test_pool_propagates_exception () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let ran = Atomic.make 0 in
+      (match
+         Pool.run pool ~tasks:8 (fun i ->
+             Atomic.incr ran;
+             if i = 3 then failwith "boom")
+       with
+      | () -> Alcotest.fail "expected the task exception to propagate"
+      | exception Failure msg -> check Alcotest.string "message" "boom" msg);
+      (* pool survives a failed batch *)
+      Pool.run pool ~tasks:4 (fun _ -> ());
+      check bool "all tasks were still offered" true (Atomic.get ran <= 8))
+
+let test_pool_parallel_enabled_env () =
+  (* PARALLEL is unset in the test environment *)
+  check bool "enabled by default" true (Pool.parallel_enabled ());
+  check bool "at least one domain" true (Pool.default_domains () >= 1)
+
 let () =
   Alcotest.run "tm_runtime"
     [
@@ -489,4 +529,13 @@ let () =
           Alcotest.test_case "run retries" `Quick test_run_retries;
         ] );
       ("fence policies", [ Alcotest.test_case "matrix" `Quick test_fence_policy_matrix ]);
+      ( "domain pool",
+        [
+          Alcotest.test_case "each task runs once" `Quick
+            test_pool_runs_each_task_once;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_pool_propagates_exception;
+          Alcotest.test_case "PARALLEL defaults" `Quick
+            test_pool_parallel_enabled_env;
+        ] );
     ]

@@ -233,6 +233,52 @@ let test_recorded_figure_histories () =
   done;
   check bool "unfenced runs produce racy histories" true (!racy_unfenced > 0)
 
+(* --------------------- parallel trial harness ---------------------- *)
+
+module R_lock = Tm_workloads.Runner.Make (Tm_baselines.Global_lock)
+
+(* The parallel runner must be a pure scheduling change: identical
+   verdicts and identical per-trial seeds, whatever the domain count.
+   Global-lock + fig2 keeps each trial deterministic (no aborts, no
+   violations), so sequential and parallel stats must agree exactly. *)
+let test_parallel_matches_sequential () =
+  let make_tm () =
+    Tm_baselines.Global_lock.create ~nregs:Figures.nregs ~nthreads:2 ()
+  in
+  let seq =
+    R_lock.run_trials ~fuel:100_000 ~seed:42 ~make_tm
+      ~policy:Fence_policy.No_fences ~trials:16 ~nregs:Figures.nregs
+      Figures.fig2
+  in
+  let par =
+    R_lock.run_trials_parallel ~fuel:100_000 ~seed:42 ~domains:4 ~make_tm
+      ~policy:Fence_policy.No_fences ~trials:16 ~nregs:Figures.nregs
+      Figures.fig2
+  in
+  check int "same trial count" seq.R_lock.trials par.R_lock.trials;
+  check int "same violations" seq.R_lock.violations par.R_lock.violations;
+  check int "same divergences" seq.R_lock.divergences par.R_lock.divergences;
+  check int "same aborted runs" seq.R_lock.aborted_runs
+    par.R_lock.aborted_runs;
+  check (Alcotest.list int) "identical per-trial seeds" seq.R_lock.seeds
+    par.R_lock.seeds;
+  (* seeds come from the SplitMix derivation, not the schedule *)
+  check (Alcotest.list int) "seeds are the documented derivation"
+    (List.init 16 (R_lock.trial_seed ~seed:42))
+    seq.R_lock.seeds
+
+let test_trial_seed_deterministic () =
+  let a = List.init 32 (R_lock.trial_seed ~seed:7) in
+  let b = List.init 32 (R_lock.trial_seed ~seed:7) in
+  check (Alcotest.list int) "stable across calls" a b;
+  check int "distinct across trials" 32
+    (List.length (List.sort_uniq compare a));
+  let c = List.init 32 (R_lock.trial_seed ~seed:8) in
+  check bool "base seed matters" false (a = c);
+  List.iter
+    (fun s -> check bool "non-negative" true (s >= 0))
+    (a @ c)
+
 (* ------------------------- random workload ------------------------- *)
 
 let test_random_workload_ok () =
@@ -299,6 +345,10 @@ let () =
           Alcotest.test_case "sequential" `Quick test_runner_sequential;
           Alcotest.test_case "divergence" `Quick test_runner_divergence_abort;
           Alcotest.test_case "two threads" `Slow test_runner_two_threads;
+          Alcotest.test_case "parallel matches sequential" `Slow
+            test_parallel_matches_sequential;
+          Alcotest.test_case "trial seeds deterministic" `Quick
+            test_trial_seed_deterministic;
         ] );
       ( "kernels",
         [
