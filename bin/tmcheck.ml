@@ -214,6 +214,195 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ figure_arg $ tm_arg $ policy_arg $ trials_arg)
 
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed")
+
+(* ------------------ systematic concurrency testing ----------------- *)
+
+let sched_cmd =
+  let doc =
+    "Systematically explore thread interleavings of a figure program on a \
+     sched-instrumented TM (bounded-exhaustive, seeded-random, or PCT), \
+     checking the postcondition, strong opacity and race freedom on every \
+     execution; failures print a deterministic replay seed/schedule."
+  in
+  let sched_tm_arg =
+    Arg.(
+      value
+      & opt string "tl2"
+      & info [ "tm" ] ~docv:"TM"
+          ~doc:
+            ("TM implementation: "
+            ^ String.concat ", " Tm_sched.Harness.tm_names))
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt (enum [ ("exhaustive", `Exhaustive); ("random", `Random);
+                    ("pct", `Pct) ])
+          `Random
+      & info [ "sched" ] ~docv:"STRATEGY"
+          ~doc:"Exploration strategy: exhaustive, random, pct")
+  in
+  let execs_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "execs" ] ~docv:"N" ~doc:"Execution budget")
+  in
+  let preemptions_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "preemptions" ] ~docv:"N"
+          ~doc:"Preemption bound (exhaustive strategy)")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "depth" ] ~docv:"D" ~doc:"PCT bug depth (pct strategy)")
+  in
+  let bug_arg =
+    Arg.(
+      value & opt string "any"
+      & info [ "bug" ] ~docv:"ORACLE"
+          ~doc:"Bug oracle: post, opacity, race, any")
+  in
+  let fuel_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "fuel" ] ~docv:"N" ~doc:"Interpreter fuel per thread")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:
+            "Replay the execution with this per-execution seed (as printed \
+             by a failing random/pct exploration run with the same \
+             --sched/--seed/--depth flags) and print its history")
+  in
+  let replay_schedule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay-schedule" ] ~docv:"SCHED"
+          ~doc:
+            "Replay a comma-separated thread schedule (as printed by a \
+             failing exploration) and print its history")
+  in
+  let run name tm_name policy strategy seed execs preemptions depth bug_name
+      fuel replay replay_schedule =
+    let open Tm_sched in
+    let fig =
+      match figure_by_name name with
+      | Some fig -> fig
+      | None ->
+          Printf.eprintf "unknown figure %s\n" name;
+          exit 2
+    in
+    let tm =
+      match Harness.tm_spec_of_string tm_name with
+      | Some tm -> tm
+      | None ->
+          Printf.eprintf "unknown TM %s (expected one of: %s)\n" tm_name
+            (String.concat ", " Harness.tm_names);
+          exit 2
+    in
+    let bug =
+      match Harness.bug_of_string bug_name with
+      | Some bug -> bug
+      | None ->
+          Printf.eprintf "unknown bug oracle %s\n" bug_name;
+          exit 2
+    in
+    let spec =
+      match strategy with
+      | `Exhaustive -> Sched.Exhaustive { preemptions; max_execs = execs }
+      | `Random -> Sched.Random { seed; execs }
+      | `Pct -> Sched.Pct { seed; execs; depth }
+    in
+    let pp_schedule s = String.concat "," (List.map string_of_int s) in
+    let report_execution o =
+      print_string (Tm_model.Text.to_string o.Harness.history);
+      Printf.printf "verdict: %s\n" (Harness.describe o);
+      exit (if Harness.is_bug bug o then 1 else 0)
+    in
+    match (replay, replay_schedule) with
+    | Some exec_seed, _ ->
+        report_execution
+          (Harness.replay_seed_tm ~fuel ~tm ~policy ~spec ~seed:exec_seed fig)
+    | None, Some s ->
+        let schedule =
+          try List.map int_of_string (String.split_on_char ',' (String.trim s))
+          with Failure _ ->
+            Printf.eprintf "bad schedule %S (expected e.g. 1,0,1)\n" s;
+            exit 2
+        in
+        report_execution
+          (Harness.replay_schedule_tm ~fuel ~tm ~policy ~schedule fig)
+    | None, None -> (
+        match Harness.explore_tm ~fuel ~tm ~policy ~spec ~bug fig with
+        | Sched.Passed { execs; complete } ->
+            Printf.printf
+              "%s on %s, policy %s: no %s bug in %d execution(s)%s\n"
+              fig.Figures.f_name tm_name
+              (Tm_runtime.Fence_policy.name policy)
+              (Harness.bug_name bug) execs
+              (if complete then
+                 " (schedule space exhausted within the preemption bound)"
+               else "");
+            exit 0
+        | Sched.Found f ->
+            Printf.printf "%s on %s, policy %s: bug at execution %d: %s\n"
+              fig.Figures.f_name tm_name
+              (Tm_runtime.Fence_policy.name policy)
+              f.Sched.f_exec
+              (Harness.describe f.Sched.f_value);
+            Printf.printf "schedule: %s\n" (pp_schedule f.Sched.f_value.Harness.schedule);
+            (match f.Sched.f_seed with
+            | Some es ->
+                Printf.printf "replay seed: %d\n" es;
+                Printf.printf
+                  "replay: tmcheck sched %s --tm %s --policy %s --sched %s \
+                   --seed %d --depth %d --fuel %d --replay %d\n"
+                  name tm_name
+                  (Tm_runtime.Fence_policy.name policy)
+                  (match strategy with
+                  | `Exhaustive -> "exhaustive"
+                  | `Random -> "random"
+                  | `Pct -> "pct")
+                  seed depth fuel es
+            | None ->
+                Printf.printf
+                  "replay: tmcheck sched %s --tm %s --policy %s --fuel %d \
+                   --replay-schedule %s\n"
+                  name tm_name
+                  (Tm_runtime.Fence_policy.name policy)
+                  fuel
+                  (pp_schedule f.Sched.f_value.Harness.schedule));
+            (* confirm the printed replay token reproduces the execution *)
+            let replayed =
+              match f.Sched.f_seed with
+              | Some es ->
+                  Harness.replay_seed_tm ~fuel ~tm ~policy ~spec ~seed:es fig
+              | None ->
+                  Harness.replay_schedule_tm ~fuel ~tm ~policy
+                    ~schedule:f.Sched.f_value.Harness.schedule fig
+            in
+            let identical =
+              Tm_model.Text.to_string replayed.Harness.history
+              = Tm_model.Text.to_string f.Sched.f_value.Harness.history
+            in
+            Printf.printf "replay reproduces the identical history: %b\n"
+              identical;
+            exit (if identical then 1 else 3))
+  in
+  Cmd.v (Cmd.info "sched" ~doc)
+    Term.(
+      const run $ figure_arg $ sched_tm_arg $ policy_arg $ strategy_arg
+      $ seed_arg $ execs_arg $ preemptions_arg $ depth_arg $ bug_arg
+      $ fuel_arg $ replay_arg $ replay_schedule_arg)
+
 (* ---------------------- history file commands ---------------------- *)
 
 let file_arg =
@@ -258,9 +447,6 @@ let out_arg =
     value & opt (some string) None
     & info [ "out" ] ~docv:"FILE" ~doc:"Write the history to FILE")
 
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed")
-
 let record_cmd =
   let doc =
     "Record a random privatization workload on instrumented TL2 and      print (or save) the history."
@@ -290,4 +476,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ figures_cmd; drf_cmd; opacity_cmd; run_cmd; hist_cmd; record_cmd ]))
+          [ figures_cmd; drf_cmd; opacity_cmd; run_cmd; sched_cmd; hist_cmd;
+            record_cmd ]))

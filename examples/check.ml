@@ -1,0 +1,10 @@
+(* Postcondition checks for the example programs.  [assert] can be
+   compiled away (-noassert) and dies with an unhelpful backtrace; the
+   examples double as smoke tests in CI, so failures must print what
+   broke and exit non-zero. *)
+
+let require msg cond =
+  if not cond then begin
+    Printf.eprintf "FAILED: %s\n%!" msg;
+    exit 1
+  end

@@ -82,6 +82,7 @@ let () =
     total njobs
     (match sample with Some v -> string_of_int v | None -> "-")
     snapshots (Tl2.stats_aborts tm);
-  assert (total = njobs);
-  assert (sample = Some (123 * 123));
+  Check.require "every queued job was consumed" (total = njobs);
+  Check.require "privatized snapshot saw the squared value"
+    (sample = Some (123 * 123));
   print_endline "datastructures OK"

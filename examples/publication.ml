@@ -26,8 +26,8 @@ let () =
   print_endline "publication and agreement idioms on TL2 (no fences needed)";
   let pub = check_figure fig2 500 100_000 in
   let agr = check_figure fig6 200 5_000_000 in
-  assert (pub.R.violations = 0);
-  assert (agr.R.violations = 0);
+  Check.require "publication kept the postcondition" (pub.R.violations = 0);
+  Check.require "agreement kept the postcondition" (agr.R.violations = 0);
   print_newline ();
   print_endline "model-level verdicts under strong atomicity:";
   List.iter

@@ -49,7 +49,8 @@ let () =
               else t := accounts * initial_balance;
               !t)
         in
-        assert (total = accounts * initial_balance || total = 0)
+        Check.require "audit saw a consistent total"
+          (total = accounts * initial_balance || total = 0)
       end
     done
   in
@@ -74,5 +75,6 @@ let () =
     (accounts * initial_balance);
   Printf.printf "commits: %d, aborts: %d\n" (Tl2.stats_commits tm)
     (Tl2.stats_aborts tm);
-  assert (!total = accounts * initial_balance);
+  Check.require "final balances sum to the initial total"
+    (!total = accounts * initial_balance);
   print_endline "quickstart OK"

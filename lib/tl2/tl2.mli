@@ -14,7 +14,14 @@
     checker of [Tm_opacity] can be shown to catch them (experiment
     E8), and [commit_delay] widens the window between read-set
     validation and write-back to make the delayed-commit anomaly easy
-    to exhibit on unfenced programs (experiment E1). *)
+    to exhibit on unfenced programs (experiment E1).
+
+    The implementation is a functor over {!Tm_runtime.Sched_intf.S}:
+    every shared-memory access is a scheduling point, so
+    [Make (Tm_sched.Sched.Hooks)] runs under the deterministic
+    cooperative scheduler while the default instantiation (included at
+    the top level, over {!Tm_runtime.Sched_intf.Os}) is the full-speed
+    production path. *)
 
 (** Fault-injection variants used by experiment E8. *)
 type variant =
@@ -28,6 +35,27 @@ type variant =
     periods (as in [17]).  Both satisfy Definition A.1's condition 10;
     the epoch fence never waits for transactions that began after it. *)
 type fence_impl = Flag_scan | Epoch
+
+module Make (S : Tm_runtime.Sched_intf.S) : sig
+  include Tm_runtime.Tm_intf.S
+
+  val create_with :
+    ?recorder:Tm_runtime.Recorder.t ->
+    ?variant:variant ->
+    ?fence_impl:fence_impl ->
+    ?commit_delay:int ->
+    ?writeback_delay:int ->
+    ?delay_threads:int list ->
+    nregs:int ->
+    nthreads:int ->
+    unit ->
+    t
+
+  val clock : t -> int
+  val timestamp_log : t -> (int * int * int * int) list
+  val stats_commits : t -> int
+  val stats_aborts : t -> int
+end
 
 include Tm_runtime.Tm_intf.S
 

@@ -1,93 +1,135 @@
 open Tm_model
 open Tm_runtime
 
-let name = "global-lock"
+module Make (S : Sched_intf.S) = struct
+  let name = "global-lock"
 
-type t = {
-  mutex : Mutex.t;
-  reg : int Atomic.t array;
-  active : bool Atomic.t array;
-  recorder : Recorder.t option;
-}
-
-type txn = { thread : int; mutable undo : (int * int) list }
-
-let create ?recorder ~nregs ~nthreads () =
-  {
-    mutex = Mutex.create ();
-    reg = Array.init nregs (fun _ -> Atomic.make Types.v_init);
-    active = Array.init nthreads (fun _ -> Atomic.make false);
-    recorder;
+  type t = {
+    owner : int Atomic.t;
+        (** -1 free, otherwise the thread holding the global lock.  A
+            CAS spinlock rather than [Mutex.t]: the lock is held across
+            scheduling points, and a blocked [Mutex.lock] would wedge
+            the cooperative deterministic scheduler (all fibers share
+            one domain).  Spinning through {!S.spin} parks the fiber
+            instead. *)
+    reg : int Atomic.t array;
+    active : bool Atomic.t array;
+    recorder : Recorder.t option;
   }
 
-let log t ~thread kind =
-  match t.recorder with
-  | Some r -> Recorder.log r ~thread kind
-  | None -> ()
+  type txn = { thread : int; mutable undo : (int * int) list }
 
-let txn_begin t ~thread =
-  log t ~thread (Action.Request Action.Txbegin);
-  Mutex.lock t.mutex;
-  Atomic.set t.active.(thread) true;
-  log t ~thread (Action.Response Action.Okay);
-  { thread; undo = [] }
+  let create ?recorder ~nregs ~nthreads () =
+    {
+      owner = Atomic.make (-1);
+      reg = Array.init nregs (fun _ -> Atomic.make Types.v_init);
+      active = Array.init nthreads (fun _ -> Atomic.make false);
+      recorder;
+    }
 
-let read t txn x =
-  log t ~thread:txn.thread (Action.Request (Action.Read x));
-  let v = Atomic.get t.reg.(x) in
-  log t ~thread:txn.thread (Action.Response (Action.Ret v));
-  v
+  let log t ~thread kind =
+    match t.recorder with
+    | Some r -> Recorder.log r ~thread kind
+    | None -> ()
 
-let write t txn x v =
-  log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
-  txn.undo <- (x, Atomic.get t.reg.(x)) :: txn.undo;
-  Atomic.set t.reg.(x) v;
-  log t ~thread:txn.thread (Action.Response Action.Ret_unit)
+  let acquire t thread =
+    let rec go () =
+      S.yield ();
+      if not (Atomic.compare_and_set t.owner (-1) thread) then begin
+        S.spin ();
+        go ()
+      end
+    in
+    go ()
 
-let commit t txn =
-  log t ~thread:txn.thread (Action.Request Action.Txcommit);
-  log t ~thread:txn.thread (Action.Response Action.Committed);
-  Atomic.set t.active.(txn.thread) false;
-  Mutex.unlock t.mutex
+  let release t =
+    S.yield ();
+    Atomic.set t.owner (-1)
 
-let abort t txn =
-  (* roll the in-place writes back, newest first *)
-  List.iter (fun (x, old) -> Atomic.set t.reg.(x) old) txn.undo;
-  log t ~thread:txn.thread (Action.Request Action.Txcommit);
-  log t ~thread:txn.thread (Action.Response Action.Aborted);
-  Atomic.set t.active.(txn.thread) false;
-  Mutex.unlock t.mutex
+  let txn_begin t ~thread =
+    acquire t thread;
+    (* Log [Txbegin] only once the lock is held and the transaction is
+       visible to fences: a thread still waiting for the lock has not
+       begun in the sense of the history's fence condition (10), and a
+       fence must not be obliged to wait for it. *)
+    Atomic.set t.active.(thread) true;
+    log t ~thread (Action.Request Action.Txbegin);
+    log t ~thread (Action.Response Action.Okay);
+    { thread; undo = [] }
 
-let read_nt t ~thread x =
-  match t.recorder with
-  | None -> Atomic.get t.reg.(x)
-  | Some r ->
-      Recorder.critical r ~thread (fun push ->
-          let v = Atomic.get t.reg.(x) in
-          push (Action.Request (Action.Read x));
-          push (Action.Response (Action.Ret v));
-          v)
+  let read t txn x =
+    log t ~thread:txn.thread (Action.Request (Action.Read x));
+    S.yield ();
+    let v = Atomic.get t.reg.(x) in
+    log t ~thread:txn.thread (Action.Response (Action.Ret v));
+    v
 
-let write_nt t ~thread x v =
-  match t.recorder with
-  | None -> Atomic.set t.reg.(x) v
-  | Some r ->
-      Recorder.critical r ~thread (fun push ->
-          Atomic.set t.reg.(x) v;
-          push (Action.Request (Action.Write (x, v)));
-          push (Action.Response Action.Ret_unit))
+  let write t txn x v =
+    log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
+    S.yield ();
+    txn.undo <- (x, Atomic.get t.reg.(x)) :: txn.undo;
+    S.yield ();
+    Atomic.set t.reg.(x) v;
+    log t ~thread:txn.thread (Action.Response Action.Ret_unit)
 
-let fence t ~thread =
-  log t ~thread (Action.Request Action.Fbegin);
-  let n = Array.length t.active in
-  let r = Array.make n false in
-  for u = 0 to n - 1 do
-    r.(u) <- Atomic.get t.active.(u)
-  done;
-  for u = 0 to n - 1 do
-    if r.(u) then
-      while Atomic.get t.active.(u) do
-        Domain.cpu_relax ()
-      done
-  done;
-  log t ~thread (Action.Response Action.Fend)
+  let commit t txn =
+    log t ~thread:txn.thread (Action.Request Action.Txcommit);
+    log t ~thread:txn.thread (Action.Response Action.Committed);
+    S.yield ();
+    Atomic.set t.active.(txn.thread) false;
+    release t
+
+  let abort t txn =
+    (* roll the in-place writes back, newest first *)
+    List.iter
+      (fun (x, old) ->
+        S.yield ();
+        Atomic.set t.reg.(x) old)
+      txn.undo;
+    log t ~thread:txn.thread (Action.Request Action.Txcommit);
+    log t ~thread:txn.thread (Action.Response Action.Aborted);
+    S.yield ();
+    Atomic.set t.active.(txn.thread) false;
+    release t
+
+  let read_nt t ~thread x =
+    S.yield ();
+    match t.recorder with
+    | None -> Atomic.get t.reg.(x)
+    | Some r ->
+        Recorder.critical r ~thread (fun push ->
+            let v = Atomic.get t.reg.(x) in
+            push (Action.Request (Action.Read x));
+            push (Action.Response (Action.Ret v));
+            v)
+
+  let write_nt t ~thread x v =
+    S.yield ();
+    match t.recorder with
+    | None -> Atomic.set t.reg.(x) v
+    | Some r ->
+        Recorder.critical r ~thread (fun push ->
+            Atomic.set t.reg.(x) v;
+            push (Action.Request (Action.Write (x, v)));
+            push (Action.Response Action.Ret_unit))
+
+  let fence t ~thread =
+    log t ~thread (Action.Request Action.Fbegin);
+    let n = Array.length t.active in
+    let r = Array.make n false in
+    for u = 0 to n - 1 do
+      S.yield ();
+      r.(u) <- Atomic.get t.active.(u)
+    done;
+    for u = 0 to n - 1 do
+      if r.(u) then begin
+        S.yield ();
+        while Atomic.get t.active.(u) do
+          S.spin ()
+        done
+      end
+    done;
+    log t ~thread (Action.Response Action.Fend)
+end
+
+include Make (Sched_intf.Os)

@@ -1,4 +1,4 @@
-(** A trivially serializing TM: one global mutex held for the whole
+(** A trivially serializing TM: one global lock held for the whole
     transaction, in-place writes with an undo log for explicit aborts.
 
     Transactions never spuriously abort.  Because a transaction holds
@@ -6,6 +6,17 @@
     commit while a doomed or committing transaction is still running —
     this TM is privatization-safe with no fences, at the price of zero
     concurrency.  Serves as the strong-atomicity performance baseline
-    in experiments E6 and E10. *)
+    in experiments E6 and E10.
+
+    Functorized over {!Tm_runtime.Sched_intf.S} for deterministic
+    schedule-controlled testing; the top-level inclusion is the
+    production (OS-scheduled) instantiation.  The global lock is a CAS
+    spinlock (not a [Mutex.t]) so that a blocked acquisition parks the
+    fiber under the cooperative scheduler instead of wedging its
+    domain. *)
+
+module Make (S : Tm_runtime.Sched_intf.S) : sig
+  include Tm_runtime.Tm_intf.S
+end
 
 include Tm_runtime.Tm_intf.S

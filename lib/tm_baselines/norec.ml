@@ -1,156 +1,188 @@
 open Tm_model
 open Tm_runtime
 
-let name = "norec"
+module Make (S : Sched_intf.S) = struct
+  let name = "norec"
 
-type t = {
-  glb : int Atomic.t;  (** sequence lock: odd = a writer is committing *)
-  reg : int Atomic.t array;
-  active : bool Atomic.t array;
-  recorder : Recorder.t option;
-  commits : int Atomic.t;
-  aborts : int Atomic.t;
-}
-
-type txn = {
-  thread : int;
-  mutable snapshot : int;
-  rset : (int, int) Hashtbl.t;  (** register -> value seen *)
-  wset : (int, int) Hashtbl.t;
-}
-
-let create ?recorder ~nregs ~nthreads () =
-  {
-    glb = Atomic.make 0;
-    reg = Array.init nregs (fun _ -> Atomic.make Types.v_init);
-    active = Array.init nthreads (fun _ -> Atomic.make false);
-    recorder;
-    commits = Atomic.make 0;
-    aborts = Atomic.make 0;
+  type t = {
+    glb : int Atomic.t;  (** sequence lock: odd = a writer is committing *)
+    reg : int Atomic.t array;
+    active : bool Atomic.t array;
+    recorder : Recorder.t option;
+    commits : int Atomic.t;
+    aborts : int Atomic.t;
   }
 
-let stats_commits t = Atomic.get t.commits
-let stats_aborts t = Atomic.get t.aborts
+  type txn = {
+    thread : int;
+    mutable snapshot : int;
+    rset : (int, int) Hashtbl.t;  (** register -> value seen *)
+    wset : (int, int) Hashtbl.t;
+  }
 
-let log t ~thread kind =
-  match t.recorder with
-  | Some r -> Recorder.log r ~thread kind
-  | None -> ()
+  let create ?recorder ~nregs ~nthreads () =
+    {
+      glb = Atomic.make 0;
+      reg = Array.init nregs (fun _ -> Atomic.make Types.v_init);
+      active = Array.init nthreads (fun _ -> Atomic.make false);
+      recorder;
+      commits = Atomic.make 0;
+      aborts = Atomic.make 0;
+    }
 
-let abort_handler t txn =
-  log t ~thread:txn.thread (Action.Response Action.Aborted);
-  Atomic.set t.active.(txn.thread) false;
-  Atomic.incr t.aborts;
-  raise Tm_intf.Abort
+  let stats_commits t = Atomic.get t.commits
+  let stats_aborts t = Atomic.get t.aborts
 
-let rec wait_even t =
-  let s = Atomic.get t.glb in
-  if s land 1 = 1 then begin
-    Domain.cpu_relax ();
-    wait_even t
-  end
-  else s
+  let log t ~thread kind =
+    match t.recorder with
+    | Some r -> Recorder.log r ~thread kind
+    | None -> ()
 
-let txn_begin t ~thread =
-  log t ~thread (Action.Request Action.Txbegin);
-  Atomic.set t.active.(thread) true;
-  let txn =
-    { thread; snapshot = wait_even t; rset = Hashtbl.create 8;
-      wset = Hashtbl.create 8 }
-  in
-  log t ~thread (Action.Response Action.Okay);
-  txn
+  let abort_handler t txn =
+    log t ~thread:txn.thread (Action.Response Action.Aborted);
+    S.yield ();
+    Atomic.set t.active.(txn.thread) false;
+    Atomic.incr t.aborts;
+    raise Tm_intf.Abort
 
-(* Value-based validation (may abort): returns a clock value at which
-   the whole read-set was observed consistent. *)
-let rec validate t txn =
-  let s = wait_even t in
-  let ok =
-    Hashtbl.fold
-      (fun x v acc -> acc && Atomic.get t.reg.(x) = v)
-      txn.rset true
-  in
-  if not ok then abort_handler t txn
-  else if Atomic.get t.glb <> s then validate t txn
-  else s
+  let rec wait_even t =
+    S.yield ();
+    let s = Atomic.get t.glb in
+    if s land 1 = 1 then begin
+      S.spin ();
+      wait_even t
+    end
+    else s
 
-let read t txn x =
-  log t ~thread:txn.thread (Action.Request (Action.Read x));
-  match Hashtbl.find_opt txn.wset x with
-  | Some v ->
-      log t ~thread:txn.thread (Action.Response (Action.Ret v));
-      v
-  | None ->
-      let v = ref (Atomic.get t.reg.(x)) in
-      while txn.snapshot <> Atomic.get t.glb do
+  let txn_begin t ~thread =
+    S.yield ();
+    (* visible to fences before [Txbegin] is logged (condition 10) *)
+    Atomic.set t.active.(thread) true;
+    log t ~thread (Action.Request Action.Txbegin);
+    let txn =
+      { thread; snapshot = wait_even t; rset = Hashtbl.create 8;
+        wset = Hashtbl.create 8 }
+    in
+    log t ~thread (Action.Response Action.Okay);
+    txn
+
+  (* Value-based validation (may abort): returns a clock value at which
+     the whole read-set was observed consistent. *)
+  let rec validate t txn =
+    let s = wait_even t in
+    let ok =
+      Hashtbl.fold
+        (fun x v acc ->
+          acc
+          &&
+          (S.yield ();
+           Atomic.get t.reg.(x) = v))
+        txn.rset true
+    in
+    if not ok then abort_handler t txn
+    else begin
+      S.yield ();
+      if Atomic.get t.glb <> s then validate t txn else s
+    end
+
+  let read t txn x =
+    log t ~thread:txn.thread (Action.Request (Action.Read x));
+    match Hashtbl.find_opt txn.wset x with
+    | Some v ->
+        log t ~thread:txn.thread (Action.Response (Action.Ret v));
+        v
+    | None ->
+        S.yield ();
+        let v = ref (Atomic.get t.reg.(x)) in
+        S.yield ();
+        while txn.snapshot <> Atomic.get t.glb do
+          txn.snapshot <- validate t txn;
+          S.yield ();
+          v := Atomic.get t.reg.(x);
+          S.yield ()
+        done;
+        Hashtbl.replace txn.rset x !v;
+        log t ~thread:txn.thread (Action.Response (Action.Ret !v));
+        !v
+
+  let write t txn x v =
+    log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
+    Hashtbl.replace txn.wset x v;
+    log t ~thread:txn.thread (Action.Response Action.Ret_unit)
+
+  let commit t txn =
+    log t ~thread:txn.thread (Action.Request Action.Txcommit);
+    if Hashtbl.length txn.wset = 0 then begin
+      (* read-only: commit without touching the clock *)
+      log t ~thread:txn.thread (Action.Response Action.Committed);
+      S.yield ();
+      Atomic.set t.active.(txn.thread) false;
+      Atomic.incr t.commits
+    end
+    else begin
+      (* acquire the sequence lock at a validated snapshot *)
+      S.yield ();
+      while
+        not (Atomic.compare_and_set t.glb txn.snapshot (txn.snapshot + 1))
+      do
         txn.snapshot <- validate t txn;
-        v := Atomic.get t.reg.(x)
+        S.yield ()
       done;
-      Hashtbl.replace txn.rset x !v;
-      log t ~thread:txn.thread (Action.Response (Action.Ret !v));
-      !v
+      Hashtbl.iter
+        (fun x v ->
+          S.yield ();
+          Atomic.set t.reg.(x) v)
+        txn.wset;
+      S.yield ();
+      Atomic.set t.glb (txn.snapshot + 2);
+      log t ~thread:txn.thread (Action.Response Action.Committed);
+      S.yield ();
+      Atomic.set t.active.(txn.thread) false;
+      Atomic.incr t.commits
+    end
 
-let write t txn x v =
-  log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
-  Hashtbl.replace txn.wset x v;
-  log t ~thread:txn.thread (Action.Response Action.Ret_unit)
+  let abort t txn =
+    log t ~thread:txn.thread (Action.Request Action.Txcommit);
+    (try abort_handler t txn with Tm_intf.Abort -> ())
 
-let commit t txn =
-  log t ~thread:txn.thread (Action.Request Action.Txcommit);
-  if Hashtbl.length txn.wset = 0 then begin
-    (* read-only: commit without touching the clock *)
-    log t ~thread:txn.thread (Action.Response Action.Committed);
-    Atomic.set t.active.(txn.thread) false;
-    Atomic.incr t.commits
-  end
-  else begin
-    (* acquire the sequence lock at a validated snapshot *)
-    while
-      not (Atomic.compare_and_set t.glb txn.snapshot (txn.snapshot + 1))
-    do
-      txn.snapshot <- validate t txn
+  let read_nt t ~thread x =
+    S.yield ();
+    match t.recorder with
+    | None -> Atomic.get t.reg.(x)
+    | Some r ->
+        Recorder.critical r ~thread (fun push ->
+            let v = Atomic.get t.reg.(x) in
+            push (Action.Request (Action.Read x));
+            push (Action.Response (Action.Ret v));
+            v)
+
+  let write_nt t ~thread x v =
+    S.yield ();
+    match t.recorder with
+    | None -> Atomic.set t.reg.(x) v
+    | Some r ->
+        Recorder.critical r ~thread (fun push ->
+            Atomic.set t.reg.(x) v;
+            push (Action.Request (Action.Write (x, v)));
+            push (Action.Response Action.Ret_unit))
+
+  let fence t ~thread =
+    log t ~thread (Action.Request Action.Fbegin);
+    let n = Array.length t.active in
+    let r = Array.make n false in
+    for u = 0 to n - 1 do
+      S.yield ();
+      r.(u) <- Atomic.get t.active.(u)
     done;
-    Hashtbl.iter (fun x v -> Atomic.set t.reg.(x) v) txn.wset;
-    Atomic.set t.glb (txn.snapshot + 2);
-    log t ~thread:txn.thread (Action.Response Action.Committed);
-    Atomic.set t.active.(txn.thread) false;
-    Atomic.incr t.commits
-  end
+    for u = 0 to n - 1 do
+      if r.(u) then begin
+        S.yield ();
+        while Atomic.get t.active.(u) do
+          S.spin ()
+        done
+      end
+    done;
+    log t ~thread (Action.Response Action.Fend)
+end
 
-let abort t txn =
-  log t ~thread:txn.thread (Action.Request Action.Txcommit);
-  (try abort_handler t txn with Tm_intf.Abort -> ())
-
-let read_nt t ~thread x =
-  match t.recorder with
-  | None -> Atomic.get t.reg.(x)
-  | Some r ->
-      Recorder.critical r ~thread (fun push ->
-          let v = Atomic.get t.reg.(x) in
-          push (Action.Request (Action.Read x));
-          push (Action.Response (Action.Ret v));
-          v)
-
-let write_nt t ~thread x v =
-  match t.recorder with
-  | None -> Atomic.set t.reg.(x) v
-  | Some r ->
-      Recorder.critical r ~thread (fun push ->
-          Atomic.set t.reg.(x) v;
-          push (Action.Request (Action.Write (x, v)));
-          push (Action.Response Action.Ret_unit))
-
-let fence t ~thread =
-  log t ~thread (Action.Request Action.Fbegin);
-  let n = Array.length t.active in
-  let r = Array.make n false in
-  for u = 0 to n - 1 do
-    r.(u) <- Atomic.get t.active.(u)
-  done;
-  for u = 0 to n - 1 do
-    if r.(u) then
-      while Atomic.get t.active.(u) do
-        Domain.cpu_relax ()
-      done
-  done;
-  log t ~thread (Action.Response Action.Fend)
+include Make (Sched_intf.Os)

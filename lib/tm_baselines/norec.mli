@@ -10,7 +10,18 @@
     writer holds the sequence lock through write-back (no delayed
     commit), and a doomed transaction aborts at its next read because
     the privatizer's commit moved the clock (no doomed reads of
-    privatized data). *)
+    privatized data).
+
+    Functorized over {!Tm_runtime.Sched_intf.S} for deterministic
+    schedule-controlled testing; the top-level inclusion is the
+    production (OS-scheduled) instantiation. *)
+
+module Make (S : Tm_runtime.Sched_intf.S) : sig
+  include Tm_runtime.Tm_intf.S
+
+  val stats_commits : t -> int
+  val stats_aborts : t -> int
+end
 
 include Tm_runtime.Tm_intf.S
 

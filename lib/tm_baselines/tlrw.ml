@@ -1,177 +1,214 @@
 open Tm_model
 open Tm_runtime
 
-let name = "tlrw"
-
 (* Lock word per register: bit [wbit] = write-locked, low bits = count
    of visible readers.  A writer requires the word to be exactly 0 (or
    exactly 1 when upgrading its own read lock). *)
 let wbit = 1 lsl 30
 
-type t = {
-  reg : int Atomic.t array;
-  rw : int Atomic.t array;
-  active : bool Atomic.t array;
-  recorder : Recorder.t option;
-  spin_bound : int;
-  commits : int Atomic.t;
-  aborts : int Atomic.t;
-}
+module Make (S : Sched_intf.S) = struct
+  let name = "tlrw"
 
-type txn = {
-  thread : int;
-  mutable rlocked : int list;  (** registers where we hold a read lock *)
-  mutable wlocked : int list;  (** registers where we hold the write lock *)
-  mutable undo : (int * int) list;  (** in-place writes to roll back *)
-}
-
-let create_with ?recorder ?(spin_bound = 4096) ~nregs ~nthreads () =
-  {
-    reg = Array.init nregs (fun _ -> Atomic.make Types.v_init);
-    rw = Array.init nregs (fun _ -> Atomic.make 0);
-    active = Array.init nthreads (fun _ -> Atomic.make false);
-    recorder;
-    spin_bound;
-    commits = Atomic.make 0;
-    aborts = Atomic.make 0;
+  type t = {
+    reg : int Atomic.t array;
+    rw : int Atomic.t array;
+    active : bool Atomic.t array;
+    recorder : Recorder.t option;
+    spin_bound : int;
+    commits : int Atomic.t;
+    aborts : int Atomic.t;
   }
 
-let create ?recorder ~nregs ~nthreads () =
-  create_with ?recorder ~nregs ~nthreads ()
+  type txn = {
+    thread : int;
+    mutable rlocked : int list;  (** registers where we hold a read lock *)
+    mutable wlocked : int list;  (** registers where we hold the write lock *)
+    mutable undo : (int * int) list;  (** in-place writes to roll back *)
+  }
 
-let stats_commits t = Atomic.get t.commits
-let stats_aborts t = Atomic.get t.aborts
+  let create_with ?recorder ?(spin_bound = 4096) ~nregs ~nthreads () =
+    {
+      reg = Array.init nregs (fun _ -> Atomic.make Types.v_init);
+      rw = Array.init nregs (fun _ -> Atomic.make 0);
+      active = Array.init nthreads (fun _ -> Atomic.make false);
+      recorder;
+      spin_bound;
+      commits = Atomic.make 0;
+      aborts = Atomic.make 0;
+    }
 
-let log t ~thread kind =
-  match t.recorder with
-  | Some r -> Recorder.log r ~thread kind
-  | None -> ()
+  let create ?recorder ~nregs ~nthreads () =
+    create_with ?recorder ~nregs ~nthreads ()
 
-let release_all t txn =
-  (* roll back in-place writes, newest first *)
-  List.iter (fun (x, old) -> Atomic.set t.reg.(x) old) txn.undo;
-  List.iter (fun x -> Atomic.set t.rw.(x) 0) txn.wlocked;
-  List.iter
-    (fun x -> ignore (Atomic.fetch_and_add t.rw.(x) (-1)))
-    txn.rlocked;
-  txn.undo <- [];
-  txn.wlocked <- [];
-  txn.rlocked <- []
+  let stats_commits t = Atomic.get t.commits
+  let stats_aborts t = Atomic.get t.aborts
 
-let abort_handler t txn =
-  release_all t txn;
-  log t ~thread:txn.thread (Action.Response Action.Aborted);
-  Atomic.set t.active.(txn.thread) false;
-  Atomic.incr t.aborts;
-  raise Tm_intf.Abort
+  let log t ~thread kind =
+    match t.recorder with
+    | Some r -> Recorder.log r ~thread kind
+    | None -> ()
 
-let txn_begin t ~thread =
-  log t ~thread (Action.Request Action.Txbegin);
-  Atomic.set t.active.(thread) true;
-  let txn = { thread; rlocked = []; wlocked = []; undo = [] } in
-  log t ~thread (Action.Response Action.Okay);
-  txn
+  let release_all t txn =
+    (* roll back in-place writes, newest first *)
+    List.iter
+      (fun (x, old) ->
+        S.yield ();
+        Atomic.set t.reg.(x) old)
+      txn.undo;
+    List.iter
+      (fun x ->
+        S.yield ();
+        Atomic.set t.rw.(x) 0)
+      txn.wlocked;
+    List.iter
+      (fun x ->
+        S.yield ();
+        ignore (Atomic.fetch_and_add t.rw.(x) (-1)))
+      txn.rlocked;
+    txn.undo <- [];
+    txn.wlocked <- [];
+    txn.rlocked <- []
 
-(* Acquire a read lock on [x]: increment the reader count while no
-   writer holds the word. *)
-let acquire_read t txn x =
-  let rec go spins =
-    if spins > t.spin_bound then abort_handler t txn
-    else
-      let s = Atomic.get t.rw.(x) in
-      if s land wbit <> 0 then begin
-        Domain.cpu_relax ();
-        go (spins + 1)
+  let abort_handler t txn =
+    release_all t txn;
+    log t ~thread:txn.thread (Action.Response Action.Aborted);
+    S.yield ();
+    Atomic.set t.active.(txn.thread) false;
+    Atomic.incr t.aborts;
+    raise Tm_intf.Abort
+
+  let txn_begin t ~thread =
+    S.yield ();
+    (* visible to fences before [Txbegin] is logged (condition 10) *)
+    Atomic.set t.active.(thread) true;
+    log t ~thread (Action.Request Action.Txbegin);
+    let txn = { thread; rlocked = []; wlocked = []; undo = [] } in
+    log t ~thread (Action.Response Action.Okay);
+    txn
+
+  (* Acquire a read lock on [x]: increment the reader count while no
+     writer holds the word. *)
+  let acquire_read t txn x =
+    let rec go spins =
+      if spins > t.spin_bound then abort_handler t txn
+      else begin
+        S.yield ();
+        let s = Atomic.get t.rw.(x) in
+        if s land wbit <> 0 then begin
+          S.spin ();
+          go (spins + 1)
+        end
+        else if Atomic.compare_and_set t.rw.(x) s (s + 1) then
+          txn.rlocked <- x :: txn.rlocked
+        else go (spins + 1)
       end
-      else if Atomic.compare_and_set t.rw.(x) s (s + 1) then
-        txn.rlocked <- x :: txn.rlocked
-      else go (spins + 1)
-  in
-  go 0
+    in
+    go 0
 
-(* Acquire the write lock on [x], upgrading a held read lock if any. *)
-let acquire_write t txn x =
-  let holding_read = List.mem x txn.rlocked in
-  let expected = if holding_read then 1 else 0 in
-  let rec go spins =
-    if spins > t.spin_bound then abort_handler t txn
-    else if Atomic.compare_and_set t.rw.(x) expected wbit then begin
-      if holding_read then
-        txn.rlocked <- List.filter (fun y -> y <> x) txn.rlocked;
-      txn.wlocked <- x :: txn.wlocked
-    end
-    else begin
-      Domain.cpu_relax ();
-      go (spins + 1)
-    end
-  in
-  go 0
+  (* Acquire the write lock on [x], upgrading a held read lock if any. *)
+  let acquire_write t txn x =
+    let holding_read = List.mem x txn.rlocked in
+    let expected = if holding_read then 1 else 0 in
+    let rec go spins =
+      if spins > t.spin_bound then abort_handler t txn
+      else begin
+        S.yield ();
+        if Atomic.compare_and_set t.rw.(x) expected wbit then begin
+          if holding_read then
+            txn.rlocked <- List.filter (fun y -> y <> x) txn.rlocked;
+          txn.wlocked <- x :: txn.wlocked
+        end
+        else begin
+          S.spin ();
+          go (spins + 1)
+        end
+      end
+    in
+    go 0
 
-let read t txn x =
-  log t ~thread:txn.thread (Action.Request (Action.Read x));
-  if not (List.mem x txn.wlocked || List.mem x txn.rlocked) then
-    acquire_read t txn x;
-  let v = Atomic.get t.reg.(x) in
-  log t ~thread:txn.thread (Action.Response (Action.Ret v));
-  v
+  let read t txn x =
+    log t ~thread:txn.thread (Action.Request (Action.Read x));
+    if not (List.mem x txn.wlocked || List.mem x txn.rlocked) then
+      acquire_read t txn x;
+    S.yield ();
+    let v = Atomic.get t.reg.(x) in
+    log t ~thread:txn.thread (Action.Response (Action.Ret v));
+    v
 
-let write t txn x v =
-  log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
-  if not (List.mem x txn.wlocked) then acquire_write t txn x;
-  txn.undo <- (x, Atomic.get t.reg.(x)) :: txn.undo;
-  Atomic.set t.reg.(x) v;
-  log t ~thread:txn.thread (Action.Response Action.Ret_unit)
+  let write t txn x v =
+    log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
+    if not (List.mem x txn.wlocked) then acquire_write t txn x;
+    S.yield ();
+    txn.undo <- (x, Atomic.get t.reg.(x)) :: txn.undo;
+    S.yield ();
+    Atomic.set t.reg.(x) v;
+    log t ~thread:txn.thread (Action.Response Action.Ret_unit)
 
-let commit t txn =
-  log t ~thread:txn.thread (Action.Request Action.Txcommit);
-  (* writes are already in place: just release every lock *)
-  List.iter (fun x -> Atomic.set t.rw.(x) 0) txn.wlocked;
-  List.iter
-    (fun x -> ignore (Atomic.fetch_and_add t.rw.(x) (-1)))
-    txn.rlocked;
-  txn.undo <- [];
-  txn.wlocked <- [];
-  txn.rlocked <- [];
-  log t ~thread:txn.thread (Action.Response Action.Committed);
-  Atomic.set t.active.(txn.thread) false;
-  Atomic.incr t.commits
+  let commit t txn =
+    log t ~thread:txn.thread (Action.Request Action.Txcommit);
+    (* writes are already in place: just release every lock *)
+    List.iter
+      (fun x ->
+        S.yield ();
+        Atomic.set t.rw.(x) 0)
+      txn.wlocked;
+    List.iter
+      (fun x ->
+        S.yield ();
+        ignore (Atomic.fetch_and_add t.rw.(x) (-1)))
+      txn.rlocked;
+    txn.undo <- [];
+    txn.wlocked <- [];
+    txn.rlocked <- [];
+    log t ~thread:txn.thread (Action.Response Action.Committed);
+    S.yield ();
+    Atomic.set t.active.(txn.thread) false;
+    Atomic.incr t.commits
 
-let abort t txn =
-  log t ~thread:txn.thread (Action.Request Action.Txcommit);
-  (try abort_handler t txn with Tm_intf.Abort -> ())
+  let abort t txn =
+    log t ~thread:txn.thread (Action.Request Action.Txcommit);
+    (try abort_handler t txn with Tm_intf.Abort -> ())
 
-let read_nt t ~thread x =
-  match t.recorder with
-  | None -> Atomic.get t.reg.(x)
-  | Some r ->
-      Recorder.critical r ~thread (fun push ->
-          let v = Atomic.get t.reg.(x) in
-          push (Action.Request (Action.Read x));
-          push (Action.Response (Action.Ret v));
-          v)
+  let read_nt t ~thread x =
+    S.yield ();
+    match t.recorder with
+    | None -> Atomic.get t.reg.(x)
+    | Some r ->
+        Recorder.critical r ~thread (fun push ->
+            let v = Atomic.get t.reg.(x) in
+            push (Action.Request (Action.Read x));
+            push (Action.Response (Action.Ret v));
+            v)
 
-let write_nt t ~thread x v =
-  match t.recorder with
-  | None -> Atomic.set t.reg.(x) v
-  | Some r ->
-      Recorder.critical r ~thread (fun push ->
-          Atomic.set t.reg.(x) v;
-          push (Action.Request (Action.Write (x, v)));
-          push (Action.Response Action.Ret_unit))
+  let write_nt t ~thread x v =
+    S.yield ();
+    match t.recorder with
+    | None -> Atomic.set t.reg.(x) v
+    | Some r ->
+        Recorder.critical r ~thread (fun push ->
+            Atomic.set t.reg.(x) v;
+            push (Action.Request (Action.Write (x, v)));
+            push (Action.Response Action.Ret_unit))
 
-let fence t ~thread =
-  (* TLRW needs no fences for privatization (visible readers), but the
-     interface requires one; it waits on the active flags like TL2's. *)
-  log t ~thread (Action.Request Action.Fbegin);
-  let n = Array.length t.active in
-  let r = Array.make n false in
-  for u = 0 to n - 1 do
-    r.(u) <- Atomic.get t.active.(u)
-  done;
-  for u = 0 to n - 1 do
-    if r.(u) then
-      while Atomic.get t.active.(u) do
-        Domain.cpu_relax ()
-      done
-  done;
-  log t ~thread (Action.Response Action.Fend)
+  let fence t ~thread =
+    (* TLRW needs no fences for privatization (visible readers), but the
+       interface requires one; it waits on the active flags like TL2's. *)
+    log t ~thread (Action.Request Action.Fbegin);
+    let n = Array.length t.active in
+    let r = Array.make n false in
+    for u = 0 to n - 1 do
+      S.yield ();
+      r.(u) <- Atomic.get t.active.(u)
+    done;
+    for u = 0 to n - 1 do
+      if r.(u) then begin
+        S.yield ();
+        while Atomic.get t.active.(u) do
+          S.spin ()
+        done
+      end
+    done;
+    log t ~thread (Action.Response Action.Fend)
+  end
+
+include Make (Sched_intf.Os)

@@ -11,7 +11,29 @@
     reader-visibility traffic.
 
     Lock acquisition spins for a bounded number of iterations and then
-    aborts the transaction, converting deadlock into abort-and-retry. *)
+    aborts the transaction, converting deadlock into abort-and-retry.
+    (Under the deterministic scheduler a genuine deadlock is instead
+    reported as a livelock: every spinning fiber parks and the engine
+    detects that no thread can progress.)
+
+    Functorized over {!Tm_runtime.Sched_intf.S} for deterministic
+    schedule-controlled testing; the top-level inclusion is the
+    production (OS-scheduled) instantiation. *)
+
+module Make (S : Tm_runtime.Sched_intf.S) : sig
+  include Tm_runtime.Tm_intf.S
+
+  val create_with :
+    ?recorder:Tm_runtime.Recorder.t ->
+    ?spin_bound:int ->
+    nregs:int ->
+    nthreads:int ->
+    unit ->
+    t
+
+  val stats_commits : t -> int
+  val stats_aborts : t -> int
+end
 
 include Tm_runtime.Tm_intf.S
 

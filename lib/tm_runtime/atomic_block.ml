@@ -1,6 +1,6 @@
 type 'a attempt = Committed of 'a | Aborted
 
-module Make (T : Tm_intf.S) = struct
+module Make_sched (S : Sched_intf.S) (T : Tm_intf.S) = struct
   let attempt tm ~thread body =
     let txn = T.txn_begin tm ~thread in
     match body txn with
@@ -23,9 +23,15 @@ module Make (T : Tm_intf.S) = struct
               (Printf.sprintf "%s: transaction aborted %d times" T.name
                  retries)
           else begin
-            Domain.cpu_relax ();
+            (* Retrying against an unchanged memory is pointless: under
+               the deterministic scheduler this parks the fiber until
+               another thread has taken a step; in production it is a
+               cpu_relax. *)
+            S.spin ();
             go (retries + 1)
           end
     in
     go 0
 end
+
+module Make (T : Tm_intf.S) = Make_sched (Sched_intf.Os) (T)

@@ -5,7 +5,7 @@
 
 type 'a attempt = Committed of 'a | Aborted
 
-module Make (T : Tm_intf.S) : sig
+module Make_sched (S : Sched_intf.S) (T : Tm_intf.S) : sig
   val attempt : T.t -> thread:int -> (T.txn -> 'a) -> 'a attempt
   (** Run the block as one transaction; return [Aborted] if the TM
       aborts at any point (including commit). *)
@@ -13,5 +13,14 @@ module Make (T : Tm_intf.S) : sig
   val run : ?max_retries:int -> T.t -> thread:int -> (T.txn -> 'a) -> 'a * int
   (** Retry until commit; returns the result and the number of aborted
       attempts.  Raises [Failure] after [max_retries] (default
-      unlimited) consecutive aborts. *)
+      unlimited) consecutive aborts.  Between attempts the thread goes
+      through [S.spin]: a scheduling point under the deterministic
+      scheduler (retrying before any other thread has moved would abort
+      identically), a [cpu_relax] in production. *)
 end
+
+module Make (T : Tm_intf.S) : sig
+  val attempt : T.t -> thread:int -> (T.txn -> 'a) -> 'a attempt
+  val run : ?max_retries:int -> T.t -> thread:int -> (T.txn -> 'a) -> 'a * int
+end
+(** {!Make_sched} over the production {!Sched_intf.Os} hooks. *)

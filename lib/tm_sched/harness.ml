@@ -1,0 +1,242 @@
+open Tm_model
+open Tm_lang
+
+(* Sched-instrumented instantiations: every shared-memory access of
+   these TMs is a deterministic scheduling point. *)
+module Tl2_s = Tl2.Make (Sched.Hooks)
+module Norec_s = Tm_baselines.Norec.Make (Sched.Hooks)
+module Tlrw_s = Tm_baselines.Tlrw.Make (Sched.Hooks)
+module Lock_s = Tm_baselines.Global_lock.Make (Sched.Hooks)
+
+type outcome = {
+  envs : Ast.env array;
+  regs : (Types.reg * Types.value) list;
+  diverged : bool array;
+  completed : bool array;
+  livelocked : bool;
+  step_limit_hit : bool;
+  history : History.t;
+  post_ok : bool;
+  monitor : Tm_opacity.Monitor.verdict;
+  races : Tm_relations.Race.race list;
+  schedule : int list;
+}
+
+type bug = Post | Opacity | Race | Any
+
+let bug_name = function
+  | Post -> "post"
+  | Opacity -> "opacity"
+  | Race -> "race"
+  | Any -> "any"
+
+let bug_of_string = function
+  | "post" -> Some Post
+  | "opacity" -> Some Opacity
+  | "race" -> Some Race
+  | "any" -> Some Any
+  | _ -> None
+
+let post_violated o =
+  (not (Array.exists Fun.id o.diverged)) && not o.post_ok
+
+let is_bug bug o =
+  match bug with
+  | Post -> post_violated o
+  | Opacity -> o.monitor <> Tm_opacity.Monitor.Ok
+  | Race -> o.races <> []
+  | Any ->
+      post_violated o
+      || o.monitor <> Tm_opacity.Monitor.Ok
+      || o.races <> []
+
+let describe o =
+  let tags = ref [] in
+  if o.races <> [] then
+    tags := Printf.sprintf "%d race(s)" (List.length o.races) :: !tags;
+  (match o.monitor with
+  | Tm_opacity.Monitor.Ok -> ()
+  | v -> tags := Format.asprintf "opacity: %a" Tm_opacity.Monitor.pp_verdict v :: !tags);
+  if post_violated o then tags := "postcondition violated" :: !tags;
+  if o.livelocked then tags := "livelock" :: !tags;
+  if o.step_limit_hit then tags := "step limit" :: !tags;
+  if Array.exists Fun.id o.diverged then tags := "diverged" :: !tags;
+  if !tags = [] then "ok" else String.concat ", " !tags
+
+module Make (T : Tm_runtime.Tm_intf.S) = struct
+  module R = Tm_workloads.Runner.Make (T)
+
+  let run_once ?(fuel = 4096) ?(max_steps = 20_000) ?(nregs = Figures.nregs)
+      ~(make_tm : Tm_runtime.Recorder.t -> T.t) ~policy
+      (fig : Figures.figure) ~pick () =
+    let recorder = Tm_runtime.Recorder.create () in
+    let tm = make_tm recorder in
+    let program = Tm_workloads.Policy.apply policy fig.Figures.f_program in
+    let elide_ro_fences =
+      policy = Tm_runtime.Fence_policy.Skip_read_only
+    in
+    let n = Array.length program in
+    let results = Array.make n ([], true) in
+    let bodies =
+      Array.init n (fun i () ->
+          results.(i) <-
+            R.exec_thread ~elide_ro_fences tm i program.(i) fuel)
+    in
+    let info = Sched.run ~max_steps ~pick bodies in
+    (* Snapshot the history before the final register reads so the
+       verdicts only see actions of the scheduled execution. *)
+    let history = Tm_runtime.Recorder.history recorder in
+    let envs = Array.map fst results in
+    let diverged =
+      Array.mapi
+        (fun i (_, d) -> d || not info.Sched.completed.(i))
+        results
+    in
+    let regs =
+      Sched.unscheduled (fun () -> R.read_registers tm nregs)
+    in
+    let post_ok = fig.Figures.f_post envs regs in
+    let outcome =
+      {
+        envs;
+        regs;
+        diverged;
+        completed = info.Sched.completed;
+        livelocked = info.Sched.livelocked;
+        step_limit_hit = info.Sched.step_limit_hit;
+        history;
+        post_ok;
+        monitor = Tm_opacity.Monitor.check history;
+        races = Tm_relations.Online_race.check history;
+        schedule = info.Sched.schedule;
+      }
+    in
+    (info, outcome)
+
+  let explore ?fuel ?max_steps ?nregs ~make_tm ~policy ~spec ~bug fig =
+    let nthreads = Array.length fig.Figures.f_program in
+    Sched.explore ~nthreads spec
+      ~run:(fun ~pick ->
+        run_once ?fuel ?max_steps ?nregs ~make_tm ~policy fig ~pick ())
+      ~is_bug:(is_bug bug)
+
+  let replay_schedule ?fuel ?max_steps ?nregs ~make_tm ~policy ~schedule fig
+      =
+    snd
+      (run_once ?fuel ?max_steps ?nregs ~make_tm ~policy fig
+         ~pick:(Sched.pick_of_prefix (Array.of_list schedule))
+         ())
+
+  let replay_seed ?fuel ?max_steps ?nregs ~make_tm ~policy ~spec ~seed fig =
+    let nthreads = Array.length fig.Figures.f_program in
+    let run ~pick =
+      run_once ?fuel ?max_steps ?nregs ~make_tm ~policy fig ~pick ()
+    in
+    let pick = Sched.pick_of_seed spec ~nthreads ~run seed in
+    snd (run ~pick)
+end
+
+(* ------------------- string-keyed TM dispatching ------------------- *)
+
+module H_tl2 = Make (Tl2_s)
+module H_norec = Make (Norec_s)
+module H_tlrw = Make (Tlrw_s)
+module H_lock = Make (Lock_s)
+
+type tm_spec =
+  | Tl2_tm of { variant : Tl2.variant; fence_impl : Tl2.fence_impl }
+  | Norec_tm
+  | Tlrw_tm
+  | Lock_tm
+
+let tm_spec_of_string = function
+  | "tl2" -> Some (Tl2_tm { variant = Tl2.Normal; fence_impl = Tl2.Flag_scan })
+  | "tl2-epoch" ->
+      Some (Tl2_tm { variant = Tl2.Normal; fence_impl = Tl2.Epoch })
+  | "tl2-no-read-validation" ->
+      Some (Tl2_tm { variant = Tl2.No_read_validation; fence_impl = Tl2.Flag_scan })
+  | "tl2-no-commit-validation" ->
+      Some
+        (Tl2_tm { variant = Tl2.No_commit_validation; fence_impl = Tl2.Flag_scan })
+  | "norec" -> Some Norec_tm
+  | "tlrw" -> Some Tlrw_tm
+  | "lock" -> Some Lock_tm
+  | _ -> None
+
+let tm_names =
+  [
+    "tl2"; "tl2-epoch"; "tl2-no-read-validation"; "tl2-no-commit-validation";
+    "norec"; "tlrw"; "lock";
+  ]
+
+(* The four instantiations share the [outcome] type, so a string-keyed
+   front end (tmcheck, CI) can dispatch without functor plumbing. *)
+
+let explore_tm ?fuel ?max_steps ?(nregs = Figures.nregs) ~tm ~policy ~spec
+    ~bug fig =
+  let nthreads = Array.length fig.Figures.f_program in
+  match tm with
+  | Tl2_tm { variant; fence_impl } ->
+      H_tl2.explore ?fuel ?max_steps ~nregs
+        ~make_tm:(fun r ->
+          Tl2_s.create_with ~recorder:r ~variant ~fence_impl ~nregs
+            ~nthreads ())
+        ~policy ~spec ~bug fig
+  | Norec_tm ->
+      H_norec.explore ?fuel ?max_steps ~nregs
+        ~make_tm:(fun r -> Norec_s.create ~recorder:r ~nregs ~nthreads ())
+        ~policy ~spec ~bug fig
+  | Tlrw_tm ->
+      H_tlrw.explore ?fuel ?max_steps ~nregs
+        ~make_tm:(fun r -> Tlrw_s.create ~recorder:r ~nregs ~nthreads ())
+        ~policy ~spec ~bug fig
+  | Lock_tm ->
+      H_lock.explore ?fuel ?max_steps ~nregs
+        ~make_tm:(fun r -> Lock_s.create ~recorder:r ~nregs ~nthreads ())
+        ~policy ~spec ~bug fig
+
+let replay_schedule_tm ?fuel ?max_steps ?(nregs = Figures.nregs) ~tm ~policy
+    ~schedule fig =
+  let nthreads = Array.length fig.Figures.f_program in
+  match tm with
+  | Tl2_tm { variant; fence_impl } ->
+      H_tl2.replay_schedule ?fuel ?max_steps ~nregs
+        ~make_tm:(fun r ->
+          Tl2_s.create_with ~recorder:r ~variant ~fence_impl ~nregs
+            ~nthreads ())
+        ~policy ~schedule fig
+  | Norec_tm ->
+      H_norec.replay_schedule ?fuel ?max_steps ~nregs
+        ~make_tm:(fun r -> Norec_s.create ~recorder:r ~nregs ~nthreads ())
+        ~policy ~schedule fig
+  | Tlrw_tm ->
+      H_tlrw.replay_schedule ?fuel ?max_steps ~nregs
+        ~make_tm:(fun r -> Tlrw_s.create ~recorder:r ~nregs ~nthreads ())
+        ~policy ~schedule fig
+  | Lock_tm ->
+      H_lock.replay_schedule ?fuel ?max_steps ~nregs
+        ~make_tm:(fun r -> Lock_s.create ~recorder:r ~nregs ~nthreads ())
+        ~policy ~schedule fig
+
+let replay_seed_tm ?fuel ?max_steps ?(nregs = Figures.nregs) ~tm ~policy
+    ~spec ~seed fig =
+  let nthreads = Array.length fig.Figures.f_program in
+  match tm with
+  | Tl2_tm { variant; fence_impl } ->
+      H_tl2.replay_seed ?fuel ?max_steps ~nregs
+        ~make_tm:(fun r ->
+          Tl2_s.create_with ~recorder:r ~variant ~fence_impl ~nregs
+            ~nthreads ())
+        ~policy ~spec ~seed fig
+  | Norec_tm ->
+      H_norec.replay_seed ?fuel ?max_steps ~nregs
+        ~make_tm:(fun r -> Norec_s.create ~recorder:r ~nregs ~nthreads ())
+        ~policy ~spec ~seed fig
+  | Tlrw_tm ->
+      H_tlrw.replay_seed ?fuel ?max_steps ~nregs
+        ~make_tm:(fun r -> Tlrw_s.create ~recorder:r ~nregs ~nthreads ())
+        ~policy ~spec ~seed fig
+  | Lock_tm ->
+      H_lock.replay_seed ?fuel ?max_steps ~nregs
+        ~make_tm:(fun r -> Lock_s.create ~recorder:r ~nregs ~nthreads ())
+        ~policy ~spec ~seed fig

@@ -1,0 +1,174 @@
+(** Running the figure programs on sched-instrumented TMs under the
+    deterministic scheduler, with the paper's checkers as bug oracles.
+
+    Each execution interprets every program thread as one {!Sched}
+    fiber against a fresh TM instance whose shared-memory accesses are
+    scheduling points, then feeds the recorded history to the
+    postcondition, the opacity monitor and the race detector.  The
+    exploration strategies of {!Sched} search over schedules for an
+    execution some oracle rejects; a found bug carries its schedule
+    (and, for randomized strategies, a replay seed) so it can be
+    re-run deterministically. *)
+
+open Tm_model
+open Tm_lang
+
+(** {1 Instrumented TM instances} *)
+
+module Tl2_s : sig
+  include Tm_runtime.Tm_intf.S
+
+  val create_with :
+    ?recorder:Tm_runtime.Recorder.t ->
+    ?variant:Tl2.variant ->
+    ?fence_impl:Tl2.fence_impl ->
+    ?commit_delay:int ->
+    ?writeback_delay:int ->
+    ?delay_threads:int list ->
+    nregs:int ->
+    nthreads:int ->
+    unit ->
+    t
+
+  val stats_commits : t -> int
+  val stats_aborts : t -> int
+end
+
+module Norec_s : Tm_runtime.Tm_intf.S
+module Tlrw_s : Tm_runtime.Tm_intf.S
+module Lock_s : Tm_runtime.Tm_intf.S
+
+(** {1 Execution outcomes and bug oracles} *)
+
+type outcome = {
+  envs : Ast.env array;  (** final thread-local environments *)
+  regs : (Types.reg * Types.value) list;  (** final register values *)
+  diverged : bool array;
+      (** per thread: exhausted fuel, or abandoned when the engine
+          stopped early *)
+  completed : bool array;
+  livelocked : bool;
+  step_limit_hit : bool;
+  history : History.t;  (** recorded before the final register reads *)
+  post_ok : bool;
+  monitor : Tm_opacity.Monitor.verdict;
+  races : Tm_relations.Race.race list;
+  schedule : int list;  (** replayable via [replay_schedule] *)
+}
+
+type bug =
+  | Post  (** figure postcondition violated on a complete execution *)
+  | Opacity  (** {!Tm_opacity.Monitor} rejects the history *)
+  | Race  (** {!Tm_relations.Online_race} reports an hb-race *)
+  | Any
+
+val bug_name : bug -> string
+val bug_of_string : string -> bug option
+
+val post_violated : outcome -> bool
+(** The postcondition failed and no thread diverged (truncated or
+    doomed executions don't count as postcondition violations,
+    matching [Runner]'s accounting). *)
+
+val is_bug : bug -> outcome -> bool
+
+val describe : outcome -> string
+(** One-line summary of everything wrong with an execution ("ok" if
+    nothing). *)
+
+(** {1 Exploration over a figure program} *)
+
+module Make (T : Tm_runtime.Tm_intf.S) : sig
+  val run_once :
+    ?fuel:int ->
+    ?max_steps:int ->
+    ?nregs:int ->
+    make_tm:(Tm_runtime.Recorder.t -> T.t) ->
+    policy:Tm_runtime.Fence_policy.t ->
+    Figures.figure ->
+    pick:Sched.pick ->
+    unit ->
+    Sched.run_info * outcome
+  (** One deterministic execution of the figure (rewritten under
+      [policy]) on a fresh TM, scheduled by [pick].  Default [fuel]
+      4096 interpreter steps per thread, [max_steps] 20000 scheduling
+      points. *)
+
+  val explore :
+    ?fuel:int ->
+    ?max_steps:int ->
+    ?nregs:int ->
+    make_tm:(Tm_runtime.Recorder.t -> T.t) ->
+    policy:Tm_runtime.Fence_policy.t ->
+    spec:Sched.spec ->
+    bug:bug ->
+    Figures.figure ->
+    outcome Sched.outcome
+
+  val replay_schedule :
+    ?fuel:int ->
+    ?max_steps:int ->
+    ?nregs:int ->
+    make_tm:(Tm_runtime.Recorder.t -> T.t) ->
+    policy:Tm_runtime.Fence_policy.t ->
+    schedule:int list ->
+    Figures.figure ->
+    outcome
+
+  val replay_seed :
+    ?fuel:int ->
+    ?max_steps:int ->
+    ?nregs:int ->
+    make_tm:(Tm_runtime.Recorder.t -> T.t) ->
+    policy:Tm_runtime.Fence_policy.t ->
+    spec:Sched.spec ->
+    seed:int ->
+    Figures.figure ->
+    outcome
+  (** Re-run the execution whose per-execution replay seed ([f_seed])
+      was printed by a randomized exploration; reproduces the identical
+      schedule and history. *)
+end
+
+(** {1 String-keyed dispatch (tmcheck, CI)} *)
+
+type tm_spec =
+  | Tl2_tm of { variant : Tl2.variant; fence_impl : Tl2.fence_impl }
+  | Norec_tm
+  | Tlrw_tm
+  | Lock_tm
+
+val tm_spec_of_string : string -> tm_spec option
+val tm_names : string list
+
+val explore_tm :
+  ?fuel:int ->
+  ?max_steps:int ->
+  ?nregs:int ->
+  tm:tm_spec ->
+  policy:Tm_runtime.Fence_policy.t ->
+  spec:Sched.spec ->
+  bug:bug ->
+  Figures.figure ->
+  outcome Sched.outcome
+
+val replay_schedule_tm :
+  ?fuel:int ->
+  ?max_steps:int ->
+  ?nregs:int ->
+  tm:tm_spec ->
+  policy:Tm_runtime.Fence_policy.t ->
+  schedule:int list ->
+  Figures.figure ->
+  outcome
+
+val replay_seed_tm :
+  ?fuel:int ->
+  ?max_steps:int ->
+  ?nregs:int ->
+  tm:tm_spec ->
+  policy:Tm_runtime.Fence_policy.t ->
+  spec:Sched.spec ->
+  seed:int ->
+  Figures.figure ->
+  outcome

@@ -20,6 +20,15 @@ type result = {
 }
 
 module Make (T : Tm_runtime.Tm_intf.S) : sig
+  val exec_thread :
+    elide_ro_fences:bool -> T.t -> int -> Ast.com -> int -> Ast.env * bool
+  (** [exec_thread ~elide_ro_fences tm thread com fuel] interprets one
+      thread's command against the TM on the {e calling} domain and
+      returns its final environment and whether it diverged (exhausted
+      [fuel]).  This is the per-thread body that {!exec} spawns on its
+      own domain; the deterministic scheduler ([Tm_sched]) instead runs
+      one fiber per thread over a sched-instrumented TM. *)
+
   val exec :
     ?fuel:int -> ?policy:Tm_runtime.Fence_policy.t -> T.t -> Ast.program ->
     result

@@ -1,0 +1,233 @@
+(* Direct tests of the baseline TMs: NOrec's value-based validation
+   (the property that makes it privatization-safe), TLRW's visible
+   read/write locks and in-place undo, and the global lock's mutual
+   exclusion — the latter driven through the cooperative scheduler. *)
+
+open Tm_sched
+open Tm_baselines
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let v_init = Tm_model.Types.v_init
+
+let aborts f =
+  match f () with
+  | _ -> false
+  | exception Tm_runtime.Tm_intf.Abort -> true
+
+(* ------------------------------ NOrec ------------------------------ *)
+
+let test_norec_commit_publishes () =
+  let tm = Norec.create ~nregs:4 ~nthreads:2 () in
+  let txn = Norec.txn_begin tm ~thread:0 in
+  Norec.write tm txn 0 7;
+  Norec.commit tm txn;
+  check int "value published" 7 (Norec.read_nt tm ~thread:1 0);
+  check int "one commit" 1 (Norec.stats_commits tm);
+  check int "no aborts" 0 (Norec.stats_aborts tm)
+
+(* NOrec validates by value, not by timestamp: an unrelated commit bumps
+   the global clock but must not abort a transaction whose read set is
+   untouched. *)
+let test_norec_tolerates_unrelated_commit () =
+  let tm = Norec.create ~nregs:4 ~nthreads:2 () in
+  let txn0 = Norec.txn_begin tm ~thread:0 in
+  let (_ : int) = Norec.read tm txn0 0 in
+  let txn1 = Norec.txn_begin tm ~thread:1 in
+  Norec.write tm txn1 1 5;
+  Norec.commit tm txn1;
+  Norec.write tm txn0 2 9;
+  Norec.commit tm txn0;
+  check int "both committed" 2 (Norec.stats_commits tm);
+  check int "no aborts" 0 (Norec.stats_aborts tm);
+  check int "txn0's write landed" 9 (Norec.read_nt tm ~thread:0 2)
+
+let test_norec_aborts_on_conflicting_commit () =
+  let tm = Norec.create ~nregs:4 ~nthreads:2 () in
+  let txn0 = Norec.txn_begin tm ~thread:0 in
+  check int "reads initial value" v_init (Norec.read tm txn0 0);
+  let txn1 = Norec.txn_begin tm ~thread:1 in
+  Norec.write tm txn1 0 5;
+  Norec.commit tm txn1;
+  Norec.write tm txn0 2 9;
+  check bool "value validation aborts the lost update" true
+    (aborts (fun () -> Norec.commit tm txn0));
+  check int "abort counted" 1 (Norec.stats_aborts tm);
+  check int "txn0's write discarded" v_init (Norec.read_nt tm ~thread:0 2)
+
+(* Read-time revalidation: a later read in the same transaction either
+   extends the snapshot (read set still valid) or aborts. *)
+let test_norec_read_revalidation () =
+  (* untouched read set: the second read observes the newer snapshot *)
+  let tm = Norec.create ~nregs:4 ~nthreads:2 () in
+  let txn0 = Norec.txn_begin tm ~thread:0 in
+  let (_ : int) = Norec.read tm txn0 0 in
+  let txn1 = Norec.txn_begin tm ~thread:1 in
+  Norec.write tm txn1 1 5;
+  Norec.commit tm txn1;
+  check int "snapshot extends past the unrelated commit" 5
+    (Norec.read tm txn0 1);
+  Norec.commit tm txn0;
+  (* invalidated read set: the second read aborts *)
+  let tm = Norec.create ~nregs:4 ~nthreads:2 () in
+  let txn0 = Norec.txn_begin tm ~thread:0 in
+  let (_ : int) = Norec.read tm txn0 0 in
+  let txn1 = Norec.txn_begin tm ~thread:1 in
+  Norec.write tm txn1 0 5;
+  Norec.commit tm txn1;
+  check bool "read after conflicting commit aborts" true
+    (aborts (fun () -> Norec.read tm txn0 1))
+
+(* ------------------------------ TLRW ------------------------------- *)
+
+(* a small spin bound keeps lock-conflict tests fast *)
+let tlrw () = Tlrw.create_with ~spin_bound:8 ~nregs:4 ~nthreads:2 ()
+
+let test_tlrw_commit_publishes () =
+  let tm = tlrw () in
+  let txn = Tlrw.txn_begin tm ~thread:0 in
+  Tlrw.write tm txn 0 7;
+  (* TLRW writes in place: visible before commit *)
+  check int "eager write visible in place" 7 (Tlrw.read_nt tm ~thread:1 0);
+  Tlrw.commit tm txn;
+  check int "value still there after commit" 7 (Tlrw.read_nt tm ~thread:1 0);
+  check int "one commit" 1 (Tlrw.stats_commits tm)
+
+let test_tlrw_reader_blocks_writer () =
+  let tm = tlrw () in
+  let txn0 = Tlrw.txn_begin tm ~thread:0 in
+  check int "read acquires the read lock" v_init (Tlrw.read tm txn0 0);
+  let txn1 = Tlrw.txn_begin tm ~thread:1 in
+  check bool "writer aborts against a visible reader" true
+    (aborts (fun () -> Tlrw.write tm txn1 0 5));
+  (* the reader can still upgrade its own lock and commit *)
+  Tlrw.write tm txn0 0 3;
+  Tlrw.commit tm txn0;
+  check int "upgraded write committed" 3 (Tlrw.read_nt tm ~thread:0 0);
+  (* all locks released: a fresh writer now succeeds *)
+  let txn1 = Tlrw.txn_begin tm ~thread:1 in
+  Tlrw.write tm txn1 0 5;
+  Tlrw.commit tm txn1;
+  check int "post-release write committed" 5 (Tlrw.read_nt tm ~thread:0 0)
+
+let test_tlrw_writer_blocks_reader () =
+  let tm = tlrw () in
+  let txn0 = Tlrw.txn_begin tm ~thread:0 in
+  Tlrw.write tm txn0 0 3;
+  let txn1 = Tlrw.txn_begin tm ~thread:1 in
+  check bool "reader aborts against the write lock" true
+    (aborts (fun () -> Tlrw.read tm txn1 0));
+  Tlrw.commit tm txn0;
+  check int "writer's value survives" 3 (Tlrw.read_nt tm ~thread:1 0)
+
+let test_tlrw_abort_undoes () =
+  let tm = tlrw () in
+  let txn0 = Tlrw.txn_begin tm ~thread:0 in
+  Tlrw.write tm txn0 0 9;
+  check int "eager write visible" 9 (Tlrw.read_nt tm ~thread:1 0);
+  Tlrw.abort tm txn0;
+  check int "abort rolls the write back" v_init (Tlrw.read_nt tm ~thread:1 0);
+  (* the write lock is released by the abort *)
+  let txn1 = Tlrw.txn_begin tm ~thread:1 in
+  Tlrw.write tm txn1 0 5;
+  Tlrw.commit tm txn1;
+  check int "lock released by abort" 5 (Tlrw.read_nt tm ~thread:0 0)
+
+(* --------------------------- global lock --------------------------- *)
+
+let test_lock_commit_publishes () =
+  let tm = Global_lock.create ~nregs:4 ~nthreads:2 () in
+  let txn = Global_lock.txn_begin tm ~thread:0 in
+  Global_lock.write tm txn 0 7;
+  Global_lock.commit tm txn;
+  check int "value published" 7 (Global_lock.read_nt tm ~thread:1 0)
+
+let test_lock_abort_undoes () =
+  let tm = Global_lock.create ~nregs:4 ~nthreads:2 () in
+  let txn = Global_lock.txn_begin tm ~thread:0 in
+  Global_lock.write tm txn 0 9;
+  Global_lock.write tm txn 1 8;
+  Global_lock.abort tm txn;
+  check int "first write rolled back" v_init (Global_lock.read_nt tm ~thread:0 0);
+  check int "second write rolled back" v_init (Global_lock.read_nt tm ~thread:0 1);
+  (* the global lock is released by the abort *)
+  let txn = Global_lock.txn_begin tm ~thread:0 in
+  Global_lock.write tm txn 0 3;
+  Global_lock.commit tm txn;
+  check int "lock released by abort" 3 (Global_lock.read_nt tm ~thread:0 0)
+
+module L = Harness.Lock_s
+
+let alternate : Sched.pick =
+ fun ~step ~current:_ ~runnable -> List.nth runnable (step mod List.length runnable)
+
+let line_index lines needle =
+  let rec go i = function
+    | [] -> -1
+    | l :: rest -> if l = needle then i else go (i + 1) rest
+  in
+  go 0 lines
+
+(* Under the deterministic scheduler, two transactions forced to
+   alternate must still serialize: the second thread parks on the lock
+   until the first commits, so its [txbegin] is logged only after the
+   first's [committed]. *)
+let test_lock_mutual_exclusion_scheduled () =
+  let recorder = Tm_runtime.Recorder.create () in
+  let tm = L.create ~recorder ~nregs:4 ~nthreads:2 () in
+  let body i () =
+    let txn = L.txn_begin tm ~thread:i in
+    L.write tm txn 0 (10 + i);
+    L.commit tm txn
+  in
+  let info = Sched.run ~pick:alternate [| body 0; body 1 |] in
+  check bool "both fibers completed" true
+    (Array.for_all Fun.id info.Sched.completed);
+  check bool "no livelock" false info.Sched.livelocked;
+  let h = Tm_runtime.Recorder.history recorder in
+  check bool "history well formed" true
+    (Tm_model.History.well_formedness_errors h = []);
+  let lines = String.split_on_char '\n' (Tm_model.Text.to_string h) in
+  let c0 = line_index lines "t0 committed" in
+  let b1 = line_index lines "t1 txbegin" in
+  check bool "both transactions recorded" true (c0 >= 0 && b1 >= 0);
+  check bool "loser begins only after the winner commits" true (b1 > c0);
+  let v = Sched.unscheduled (fun () -> L.read_nt tm ~thread:0 0) in
+  check int "last committer's value survives" 11 v
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "norec",
+        [
+          Alcotest.test_case "commit publishes" `Quick
+            test_norec_commit_publishes;
+          Alcotest.test_case "tolerates unrelated commit" `Quick
+            test_norec_tolerates_unrelated_commit;
+          Alcotest.test_case "aborts on conflicting commit" `Quick
+            test_norec_aborts_on_conflicting_commit;
+          Alcotest.test_case "read-time revalidation" `Quick
+            test_norec_read_revalidation;
+        ] );
+      ( "tlrw",
+        [
+          Alcotest.test_case "commit publishes (eager)" `Quick
+            test_tlrw_commit_publishes;
+          Alcotest.test_case "visible reader blocks writer" `Quick
+            test_tlrw_reader_blocks_writer;
+          Alcotest.test_case "writer blocks reader" `Quick
+            test_tlrw_writer_blocks_reader;
+          Alcotest.test_case "abort undoes in-place writes" `Quick
+            test_tlrw_abort_undoes;
+        ] );
+      ( "global-lock",
+        [
+          Alcotest.test_case "commit publishes" `Quick
+            test_lock_commit_publishes;
+          Alcotest.test_case "abort undoes and releases" `Quick
+            test_lock_abort_undoes;
+          Alcotest.test_case "mutual exclusion under the scheduler" `Quick
+            test_lock_mutual_exclusion_scheduled;
+        ] );
+    ]
