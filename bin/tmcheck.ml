@@ -4,10 +4,28 @@
      tmcheck figures                 model-check all figure programs
      tmcheck drf NAME                DRF verdict for one figure program
      tmcheck opacity [--variant V]   classify recorded TL2 histories
+     tmcheck tms                     list registered TM implementations
      tmcheck run NAME [options]      runtime trials of a figure on a TM *)
 
 open Cmdliner
 open Tm_lang
+
+(* TM selection is registry-driven: [--tm NAME] is resolved against
+   [Tm_registry] (or the sched-instrumented registry for [sched]), and
+   unknown names list what is registered. *)
+
+let tm_entry_or_exit ~find ~names tm_name =
+  match find tm_name with
+  | Some e -> e
+  | None ->
+      Printf.eprintf "unknown TM %s (registered: %s)\n" tm_name
+        (String.concat ", " names);
+      exit 2
+
+let warn_policy entry policy =
+  match Tm_registry.check_policy entry policy with
+  | Ok () -> ()
+  | Error msg -> Printf.eprintf "warning: %s\n" msg
 
 let figure_by_name name =
   let open Figures in
@@ -137,7 +155,53 @@ let trials_arg =
 let tm_arg =
   Arg.(
     value & opt string "tl2"
-    & info [ "tm" ] ~docv:"TM" ~doc:"TM implementation: tl2, norec, lock")
+    & info [ "tm" ] ~docv:"TM"
+        ~doc:("TM implementation: " ^ String.concat ", " Tm_registry.names))
+
+let tms_cmd =
+  let doc = "List registered TM implementations and their capabilities." in
+  let names_flag =
+    Arg.(
+      value & flag
+      & info [ "names" ] ~doc:"Print just the TM names, one per line")
+  in
+  let correct_flag =
+    Arg.(
+      value & flag
+      & info [ "correct" ]
+          ~doc:"Exclude the deliberately bug-injected variants")
+  in
+  let run names_only correct =
+    let open Tm_registry in
+    let entries =
+      List.filter (fun e -> (not correct) || not e.faulty) Tm_registry.all
+    in
+    if names_only then
+      List.iter (fun e -> print_endline e.name) entries
+    else begin
+      Printf.printf "%-26s %-6s %-7s %-8s %-16s %s\n" "NAME" "SAFE" "FENCES"
+        "WINDOWS" "FENCE-IMPLS" "DESCRIPTION";
+      List.iter
+        (fun e ->
+          let extra =
+            (if e.faulty then " [faulty]" else "")
+            ^
+            match e.faulty_variants with
+            | [] -> ""
+            | vs -> " (faulty variants: " ^ String.concat ", " vs ^ ")"
+          in
+          Printf.printf "%-26s %-6s %-7s %-8s %-16s %s\n" e.name
+            (if e.privatization_safe then "yes" else "no")
+            (if e.needs_fences then "needs" else "-")
+            (if e.has_windows then "yes" else "-")
+            (match e.fence_impls with
+            | [] -> "-"
+            | l -> String.concat "," l)
+            (e.description ^ extra))
+        entries
+    end
+  in
+  Cmd.v (Cmd.info "tms" ~doc) Term.(const run $ names_flag $ correct_flag)
 
 let run_cmd =
   let doc = "Run a figure program repeatedly on a real TM and count \
@@ -164,52 +228,34 @@ let run_cmd =
               fig1a_read_only_privatizer ~handshake:true ~fenced:false ()
           | _ -> base
         in
-        let nthreads = Array.length fig.Figures.f_program in
-        let fuel = 700_000 in
-        let report (stats : int * int * int * int) =
-          let trials, violations, divergences, aborted = stats in
-          Printf.printf
-            "%s on %s, policy %s: %d violations, %d divergences, %d runs \
-             with aborts (of %d trials)\n"
-            fig.Figures.f_name tm_name
-            (Tm_runtime.Fence_policy.name policy)
-            violations divergences aborted trials
+        let entry =
+          tm_entry_or_exit ~find:Tm_registry.find ~names:Tm_registry.names
+            tm_name
         in
-        (match tm_name with
-        | "tl2" ->
-            let module R = Tm_workloads.Runner.Make (Tl2) in
-            let make_tm () =
-              Tl2.create_with ~commit_delay:300_000 ~delay_threads:[ 1 ]
-                ~nregs:Figures.nregs ~nthreads ()
-            in
-            let s =
-              R.run_trials_auto ~fuel ~make_tm ~policy ~trials ~nregs:Figures.nregs
-                fig
-            in
-            report (s.R.trials, s.R.violations, s.R.divergences, s.R.aborted_runs)
-        | "norec" ->
-            let module R = Tm_workloads.Runner.Make (Tm_baselines.Norec) in
-            let make_tm () =
-              Tm_baselines.Norec.create ~nregs:Figures.nregs ~nthreads ()
-            in
-            let s =
-              R.run_trials_auto ~fuel ~make_tm ~policy ~trials ~nregs:Figures.nregs
-                fig
-            in
-            report (s.R.trials, s.R.violations, s.R.divergences, s.R.aborted_runs)
-        | "lock" ->
-            let module R = Tm_workloads.Runner.Make (Tm_baselines.Global_lock) in
-            let make_tm () =
-              Tm_baselines.Global_lock.create ~nregs:Figures.nregs ~nthreads ()
-            in
-            let s =
-              R.run_trials_auto ~fuel ~make_tm ~policy ~trials ~nregs:Figures.nregs
-                fig
-            in
-            report (s.R.trials, s.R.violations, s.R.divergences, s.R.aborted_runs)
-        | other ->
-            Printf.eprintf "unknown TM %s\n" other;
-            exit 2)
+        warn_policy entry policy;
+        (* widen the TL2-family commit/write-back race window so the
+           anomaly is observable in wall-clock trials *)
+        let window =
+          if entry.Tm_registry.has_windows then
+            Some
+              {
+                Tm_registry.commit_delay = 300_000;
+                writeback_delay = 0;
+                delay_threads = Some [ 1 ];
+              }
+          else None
+        in
+        let s =
+          Tm_workloads.Runner.run_trials_auto_entry ~fuel:700_000 ?window
+            ~tm:entry ~policy ~trials ~nregs:Figures.nregs fig
+        in
+        Printf.printf
+          "%s on %s, policy %s: %d violations, %d divergences, %d runs \
+           with aborts (of %d trials)\n"
+          fig.Figures.f_name tm_name
+          (Tm_runtime.Fence_policy.name policy)
+          s.Tm_workloads.Runner.violations s.Tm_workloads.Runner.divergences
+          s.Tm_workloads.Runner.aborted_runs s.Tm_workloads.Runner.trials
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ figure_arg $ tm_arg $ policy_arg $ trials_arg)
@@ -233,7 +279,7 @@ let sched_cmd =
       & info [ "tm" ] ~docv:"TM"
           ~doc:
             ("TM implementation: "
-            ^ String.concat ", " Tm_sched.Harness.tm_names))
+            ^ String.concat ", " Tm_sched.Harness.Registry.names))
   in
   let strategy_arg =
     Arg.(
@@ -301,13 +347,10 @@ let sched_cmd =
           exit 2
     in
     let tm =
-      match Harness.tm_spec_of_string tm_name with
-      | Some tm -> tm
-      | None ->
-          Printf.eprintf "unknown TM %s (expected one of: %s)\n" tm_name
-            (String.concat ", " Harness.tm_names);
-          exit 2
+      tm_entry_or_exit ~find:Harness.Registry.find
+        ~names:Harness.Registry.names tm_name
     in
+    warn_policy tm policy;
     let bug =
       match Harness.bug_of_string bug_name with
       | Some bug -> bug
@@ -476,5 +519,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ figures_cmd; drf_cmd; opacity_cmd; run_cmd; sched_cmd; hist_cmd;
-            record_cmd ]))
+          [ figures_cmd; drf_cmd; opacity_cmd; tms_cmd; run_cmd; sched_cmd;
+            hist_cmd; record_cmd ]))

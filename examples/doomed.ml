@@ -13,12 +13,13 @@
 
    Run with: dune exec examples/doomed.exe *)
 
-module R = Tm_workloads.Runner.Make (Tl2)
+module R = Tm_workloads.Runner
 open Tm_lang.Figures
 
 let trials = 60
 let spin = 300_000
 let fuel = (2 * spin) + 30_000
+let tl2 = Tm_registry.find_exn "tl2"
 
 let run_config ~fenced =
   let fig = fig1b ~handshake:true ~spin ~fenced () in
@@ -26,8 +27,7 @@ let run_config ~fenced =
     if fenced then Tm_runtime.Fence_policy.Selective
     else Tm_runtime.Fence_policy.No_fences
   in
-  let make_tm () = Tl2.create_with ~nregs ~nthreads:2 () in
-  R.run_trials ~fuel ~make_tm ~policy ~trials ~nregs fig
+  R.run_trials_entry ~fuel ~tm:tl2 ~policy ~trials ~nregs fig
 
 let () =
   print_endline "Figure 1(b): the doomed-transaction problem on TL2";

@@ -10,10 +10,11 @@
 
    Run with: dune exec examples/privatization.exe *)
 
-module R = Tm_workloads.Runner.Make (Tl2)
+module R = Tm_workloads.Runner
 open Tm_lang.Figures
 
 let trials = 200
+let tl2 = Tm_registry.find_exn "tl2"
 
 let run_config ~fenced =
   let fig = fig1a ~handshake:true ~fenced () in
@@ -23,11 +24,14 @@ let run_config ~fenced =
   in
   (* widen the window between commit-time validation and write-back in
      the worker thread so the race is hit reliably on any machine *)
-  let make_tm () =
-    Tl2.create_with ~commit_delay:300_000 ~delay_threads:[ 1 ] ~nregs
-      ~nthreads:2 ()
+  let window =
+    {
+      Tm_registry.commit_delay = 300_000;
+      writeback_delay = 0;
+      delay_threads = Some [ 1 ];
+    }
   in
-  R.run_trials ~fuel:100_000 ~make_tm ~policy ~trials ~nregs fig
+  R.run_trials_entry ~fuel:100_000 ~window ~tm:tl2 ~policy ~trials ~nregs fig
 
 let () =
   print_endline "Figure 1(a): the delayed-commit problem on TL2";

@@ -9,14 +9,15 @@
 
    Run with: dune exec examples/publication.exe *)
 
-module R = Tm_workloads.Runner.Make (Tl2)
+module R = Tm_workloads.Runner
 open Tm_lang.Figures
 
+let tl2 = Tm_registry.find_exn "tl2"
+
 let check_figure fig trials fuel =
-  let make_tm () = Tl2.create_with ~nregs ~nthreads:2 () in
   let stats =
-    R.run_trials ~fuel ~make_tm ~policy:Tm_runtime.Fence_policy.Selective
-      ~trials ~nregs fig
+    R.run_trials_entry ~fuel ~tm:tl2
+      ~policy:Tm_runtime.Fence_policy.Selective ~trials ~nregs fig
   in
   Printf.printf "  %-42s violations %d/%d  (diverged %d)\n" fig.f_name
     stats.R.violations stats.R.trials stats.R.divergences;

@@ -264,7 +264,9 @@ module Make (S : Sched_intf.S) = struct
     match t.recorder with
     | None -> Atomic.set t.reg.(x) v
     | Some r ->
-        Recorder.critical r ~thread (fun push ->
+        (* The stamp block is reserved before the store: a reader that
+           observes [v] is stamped after this write. *)
+        Recorder.critical_pre r ~thread ~slots:2 (fun push ->
             Atomic.set t.reg.(x) v;
             push (Action.Request (Action.Write (x, v)));
             push (Action.Response Action.Ret_unit))

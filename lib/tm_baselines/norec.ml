@@ -161,7 +161,7 @@ module Make (S : Sched_intf.S) = struct
     match t.recorder with
     | None -> Atomic.set t.reg.(x) v
     | Some r ->
-        Recorder.critical r ~thread (fun push ->
+        Recorder.critical_pre r ~thread ~slots:2 (fun push ->
             Atomic.set t.reg.(x) v;
             push (Action.Request (Action.Write (x, v)));
             push (Action.Response Action.Ret_unit))

@@ -1,0 +1,76 @@
+(** Registry of every TM implementation, with capability metadata.
+
+    Each TM — TL2 under either privatization fence, the fault-injected
+    TL2 variants, and the fence-free privatization-safe baselines
+    (NOrec, TLRW, global lock) — is packaged as a first-class module
+    {!TM} inside an {!entry}.  Drivers look TMs up by name instead of
+    matching on per-TM constructors, so adding a TM means adding one
+    registry entry.
+
+    The registry is a functor over the scheduling hooks: the top-level
+    [include Make (Sched_intf.Os)] gives the production instantiation,
+    and [Make (Tm_sched.Sched.Hooks)] gives the deterministic
+    scheduler-instrumented one. *)
+
+type window = {
+  commit_delay : int;
+      (** spins inserted between commit-time validation and write-back *)
+  writeback_delay : int;  (** spins inserted between individual write-backs *)
+  delay_threads : int list option;
+      (** threads the delays apply to; [None] = all *)
+}
+(** Race-window widening knobs, honoured only by TMs with
+    [has_windows = true] (the TL2 family); others ignore them. *)
+
+val no_window : window
+
+module type TM = sig
+  module T : Tm_runtime.Tm_intf.S
+
+  val make :
+    ?recorder:Tm_runtime.Recorder.t ->
+    ?window:window ->
+    nregs:int ->
+    nthreads:int ->
+    unit ->
+    T.t
+
+  val stats : T.t -> (int * int) option
+  (** [(commits, aborts)] counters, when the TM keeps them. *)
+end
+
+type entry = {
+  name : string;  (** CLI name, e.g. ["tl2-epoch"] *)
+  description : string;
+  privatization_safe : bool;
+      (** safe to privatize without fences (paper §8) *)
+  needs_fences : bool;  (** requires privatization fences for DRF clients *)
+  fence_impls : string list;
+      (** fence implementations this TM can be built with *)
+  faulty : bool;  (** deliberately bug-injected variant *)
+  faulty_variants : string list;
+      (** registry names of this TM's bug-injected variants *)
+  has_windows : bool;  (** honours {!window} race-widening knobs *)
+  tm : (module TM);
+}
+
+val check_policy : entry -> Tm_runtime.Fence_policy.t -> (unit, string) result
+(** Capability check for combining a TM with a fence policy.  Fence
+    policies other than [No_fences] only make sense on TMs that need
+    fences; for privatization-safe TMs the result is [Error msg] and
+    drivers warn (the combination is redundant, not unsound). *)
+
+module type S = sig
+  val all : entry list
+  val names : string list
+  val find : string -> entry option
+
+  val find_exn : string -> entry
+  (** Raises [Invalid_argument] naming every registered TM when the
+      name is unknown. *)
+end
+
+module Make (Sch : Tm_runtime.Sched_intf.S) : S
+
+include S
+(** The production registry: [Make (Sched_intf.Os)]. *)

@@ -1,61 +1,236 @@
 open Tm_model
 
+(* The recorder linearizes the TM interface actions of a concurrent
+   execution into one history.  The linearization order is a global
+   stamp counter advanced by [Atomic.fetch_and_add]; every logging
+   call draws its stamp(s) with a single fetch-and-add, so stamp order
+   is consistent with the real-time order of the logging calls — the
+   property the old global-mutex implementation bought with a lock on
+   every action.  Appends themselves go to per-thread shards that only
+   the owning thread mutates, so transactional logging is lock-free.
+
+   Non-transactional accesses still serialize among themselves on a
+   small mutex ([nt_mutex]): the memory operation and its two actions
+   must be one atomic step relative to *other non-transactional
+   accesses* (condition 7 adjacency comes from the contiguous stamp
+   block, not from the mutex).  Relative to transactional memory
+   operations the stamp side matters:
+
+   - a non-transactional WRITE reserves its stamp block {e before} the
+     store ([critical_pre]): any reader that observes the stored value
+     draws its stamps after the block, so the derived reads-from edge
+     points backward in stamp order;
+   - a non-transactional READ draws its stamps {e after} the load
+     ([critical]): the write whose value it observed had completed its
+     fetch-and-add before the value became visible.
+
+   No lock is ever held across a scheduling point, preserving the
+   {!Sched_intf} contract. *)
+
+type shard = {
+  owner : int;  (** thread id; all entries in this shard belong to it *)
+  (* parallel arrays, so appends allocate nothing in the steady state *)
+  mutable stamps : int array;
+  mutable kinds : Action.kind array;
+  mutable len : int;
+}
+
 type t = {
-  mutex : Mutex.t;
-  mutable rev : Action.t list;
-  mutable next_id : int;
+  stamp : int Atomic.t;
+  shards : shard array Atomic.t;
+      (* index = thread id; grown under [grow_mutex], published with an
+         atomic store so racing readers see initialized shards.  Only
+         the owner thread appends to a shard. *)
+  grow_mutex : Mutex.t;
+  nt_mutex : Mutex.t;
   value_counter : int Atomic.t;
 }
 
+let dummy_kind = Action.Request Action.Fbegin
+let initial_chunk = 256
+
 let create () =
   {
-    mutex = Mutex.create ();
-    rev = [];
-    next_id = 0;
+    stamp = Atomic.make 0;
+    shards = Atomic.make [||];
+    grow_mutex = Mutex.create ();
+    nt_mutex = Mutex.create ();
     value_counter = Atomic.make 1;
   }
 
-let push t thread kind =
-  t.rev <- { Action.id = t.next_id; Action.thread; Action.kind } :: t.rev;
-  t.next_id <- t.next_id + 1
+let rec shard t thread =
+  let shards = Atomic.get t.shards in
+  if thread < Array.length shards then shards.(thread)
+  else begin
+    Mutex.lock t.grow_mutex;
+    let shards = Atomic.get t.shards in
+    let n = Array.length shards in
+    if thread >= n then
+      Atomic.set t.shards
+        (Array.init (thread + 1) (fun i ->
+             if i < n then shards.(i)
+             else
+               {
+                 owner = i;
+                 stamps = Array.make initial_chunk 0;
+                 kinds = Array.make initial_chunk dummy_kind;
+                 len = 0;
+               }));
+    Mutex.unlock t.grow_mutex;
+    shard t thread
+  end
+
+(* owner-only: never called concurrently for the same shard *)
+let append sh stamp kind =
+  let cap = Array.length sh.stamps in
+  if sh.len = cap then begin
+    let stamps = Array.make (2 * cap) 0 in
+    let kinds = Array.make (2 * cap) dummy_kind in
+    Array.blit sh.stamps 0 stamps 0 cap;
+    Array.blit sh.kinds 0 kinds 0 cap;
+    sh.stamps <- stamps;
+    sh.kinds <- kinds
+  end;
+  sh.stamps.(sh.len) <- stamp;
+  sh.kinds.(sh.len) <- kind;
+  sh.len <- sh.len + 1
 
 let log t ~thread kind =
-  Mutex.lock t.mutex;
-  push t thread kind;
-  Mutex.unlock t.mutex
-
-let log2 t ~thread k1 k2 =
-  Mutex.lock t.mutex;
-  push t thread k1;
-  push t thread k2;
-  Mutex.unlock t.mutex
+  let sh = shard t thread in
+  let stamp = Atomic.fetch_and_add t.stamp 1 in
+  append sh stamp kind
 
 let critical t ~thread f =
-  Mutex.lock t.mutex;
-  match f (fun kind -> push t thread kind) with
+  let sh = shard t thread in
+  Mutex.lock t.nt_mutex;
+  let pending = ref [] in
+  let push kind = pending := kind :: !pending in
+  (* Stamps are drawn only after [f] has returned — after its memory
+     operation — in one contiguous block. *)
+  let flush () =
+    match !pending with
+    | [] -> ()
+    | kinds ->
+        let kinds = List.rev kinds in
+        let base = Atomic.fetch_and_add t.stamp (List.length kinds) in
+        List.iteri (fun i kind -> append sh (base + i) kind) kinds
+  in
+  match f push with
   | result ->
-      Mutex.unlock t.mutex;
+      flush ();
+      Mutex.unlock t.nt_mutex;
       result
   | exception e ->
-      Mutex.unlock t.mutex;
+      flush ();
+      Mutex.unlock t.nt_mutex;
+      raise e
+
+let critical_pre t ~thread ~slots f =
+  let sh = shard t thread in
+  Mutex.lock t.nt_mutex;
+  (* The whole stamp block is reserved before [f] runs — before its
+     memory operation; unused slots become harmless gaps (ids are
+     reassigned densely when the history is merged). *)
+  let base = Atomic.fetch_and_add t.stamp slots in
+  let used = ref 0 in
+  let push kind =
+    if !used >= slots then
+      invalid_arg "Recorder.critical_pre: more pushes than reserved slots";
+    append sh (base + !used) kind;
+    incr used
+  in
+  match f push with
+  | result ->
+      Mutex.unlock t.nt_mutex;
+      result
+  | exception e ->
+      Mutex.unlock t.nt_mutex;
       raise e
 
 let fresh_value t = Atomic.fetch_and_add t.value_counter 1
 
-let history t =
-  Mutex.lock t.mutex;
-  let h = History.of_list (List.rev t.rev) in
-  Mutex.unlock t.mutex;
-  h
-
 let length t =
-  Mutex.lock t.mutex;
-  let n = t.next_id in
-  Mutex.unlock t.mutex;
-  n
+  Array.fold_left (fun n sh -> n + sh.len) 0 (Atomic.get t.shards)
+
+let history t =
+  let shards = Atomic.get t.shards in
+  let total = Array.fold_left (fun n sh -> n + sh.len) 0 shards in
+  let all = Array.make (max total 1) (0, 0, dummy_kind) in
+  let k = ref 0 in
+  Array.iter
+    (fun sh ->
+      for i = 0 to sh.len - 1 do
+        all.(!k) <- (sh.stamps.(i), sh.owner, sh.kinds.(i));
+        incr k
+      done)
+    shards;
+  let all = Array.sub all 0 total in
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) all;
+  History.of_list
+    (List.mapi
+       (fun id (_, thread, kind) -> { Action.id; Action.thread; Action.kind })
+       (Array.to_list all))
 
 let clear t =
-  Mutex.lock t.mutex;
-  t.rev <- [];
-  t.next_id <- 0;
-  Mutex.unlock t.mutex
+  Array.iter (fun sh -> sh.len <- 0) (Atomic.get t.shards);
+  Atomic.set t.stamp 0
+
+(* The pre-sharding implementation: one global mutex around a list.
+   Kept as the reference for the differential recorder tests and as
+   the baseline of the recorder-throughput micro-benchmark. *)
+module Locked = struct
+  type t = {
+    mutex : Mutex.t;
+    mutable rev : Action.t list;
+    mutable next_id : int;
+    value_counter : int Atomic.t;
+  }
+
+  let create () =
+    {
+      mutex = Mutex.create ();
+      rev = [];
+      next_id = 0;
+      value_counter = Atomic.make 1;
+    }
+
+  let push t thread kind =
+    t.rev <- { Action.id = t.next_id; Action.thread; Action.kind } :: t.rev;
+    t.next_id <- t.next_id + 1
+
+  let log t ~thread kind =
+    Mutex.lock t.mutex;
+    push t thread kind;
+    Mutex.unlock t.mutex
+
+  let critical t ~thread f =
+    Mutex.lock t.mutex;
+    match f (fun kind -> push t thread kind) with
+    | result ->
+        Mutex.unlock t.mutex;
+        result
+    | exception e ->
+        Mutex.unlock t.mutex;
+        raise e
+
+  let critical_pre t ~thread ~slots:_ f = critical t ~thread f
+  let fresh_value t = Atomic.fetch_and_add t.value_counter 1
+
+  let history t =
+    Mutex.lock t.mutex;
+    let h = History.of_list (List.rev t.rev) in
+    Mutex.unlock t.mutex;
+    h
+
+  let length t =
+    Mutex.lock t.mutex;
+    let n = t.next_id in
+    Mutex.unlock t.mutex;
+    n
+
+  let clear t =
+    Mutex.lock t.mutex;
+    t.rev <- [];
+    t.next_id <- 0;
+    Mutex.unlock t.mutex
+end

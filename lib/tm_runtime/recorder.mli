@@ -1,23 +1,34 @@
 (** Runtime history recorder.
 
     Concurrent TM operations log their TM interface actions here; the
-    log order (a global sequence protected by a mutex) is the
-    linearization that becomes the recorded {!Tm_model.History.t}.
+    linearization that becomes the recorded {!Tm_model.History.t} is a
+    global stamp order.  Stamps come from a single
+    [Atomic.fetch_and_add] counter, and appends go to per-thread
+    shards that only the owning thread mutates — transactional logging
+    is lock-free (the pre-sharding global-mutex implementation
+    survives as {!Locked} for differential tests and benchmarks).
+    [history] merges the shards by stamp.
 
-    Two invariants keep recorded histories faithful enough for the
+    Invariants that keep recorded histories faithful enough for the
     checkers:
 
-    - non-transactional accesses perform their single atomic memory
-      operation {e inside} the recorder's critical section, together
-      with both of their actions, so they are adjacent in the history
-      (Definition A.1, condition 7) and every read-from edge points
-      forward;
+    - every logging call draws its stamp(s) with one fetch-and-add, so
+      stamp order is consistent with the real-time order of the calls;
+      multi-action groups ({!critical}, {!critical_pre}) reserve one
+      contiguous stamp block, so their actions stay adjacent in the
+      merged history (Definition A.1, condition 7);
+    - a non-transactional write reserves its stamp block {e before}
+      its store ({!critical_pre}) and a non-transactional read draws
+      its stamps {e after} its load ({!critical}), so every derived
+      reads-from edge points backward in stamp order;
     - TM implementations log a transaction's completion {e before}
       clearing the flag a fence waits on, so recorded fences satisfy
       condition 10.
 
-    Recording serializes log appends but not the TM's own memory
-    accesses; benchmarks run without a recorder and pay nothing. *)
+    Each thread id must be driven by at most one domain/fiber at a
+    time (the TMs' existing contract); {!history}, {!length} and
+    {!clear} are meant for quiescent moments — after the recorded
+    threads have joined or between deterministic-scheduler runs. *)
 
 open Tm_model
 
@@ -26,22 +37,60 @@ type t
 val create : unit -> t
 
 val log : t -> thread:Types.thread_id -> Action.kind -> unit
-(** Append one action with the next stamp. *)
-
-val log2 : t -> thread:Types.thread_id -> Action.kind -> Action.kind -> unit
-(** Append two actions atomically (adjacent stamps). *)
+(** Append one action with the next stamp (lock-free). *)
 
 val critical : t -> thread:Types.thread_id -> ((Action.kind -> unit) -> 'a) -> 'a
-(** [critical t ~thread f] runs [f push] inside the recorder's critical
-    section; [push] appends actions for [thread].  Non-transactional
-    accesses perform their memory operation and push both of their
-    actions in one call, making them atomic in the recorded history. *)
+(** [critical t ~thread f] runs [f push] in the non-transactional
+    critical section; the pushed actions receive one contiguous stamp
+    block drawn {e after} [f] returns.  Non-transactional reads
+    perform their load inside [f], so their stamps postdate the write
+    whose value the load observed. *)
+
+val critical_pre :
+  t -> thread:Types.thread_id -> slots:int -> ((Action.kind -> unit) -> 'a) -> 'a
+(** Like {!critical}, but reserves a contiguous block of [slots]
+    stamps {e before} running [f] (at most [slots] pushes).
+    Non-transactional writes perform their store inside [f], so any
+    read observing the stored value draws later stamps.  Unused slots
+    leave gaps in the stamp sequence; [history] reassigns dense ids. *)
 
 val fresh_value : t -> Types.value
 (** A process-unique value for workloads that need unique writes. *)
 
 val history : t -> History.t
-(** Snapshot of the recorded history so far. *)
+(** The recorded history: shards merged by stamp, ids reassigned
+    densely in merge order.  Call at quiescent moments. *)
 
 val length : t -> int
+(** Number of recorded actions (quiescent moments). *)
+
 val clear : t -> unit
+(** Drop all recorded actions and reset the stamp counter (quiescent
+    moments); [fresh_value] is not reset. *)
+
+(** The pre-sharding recorder — a global mutex around one list — kept
+    as the reference implementation for the differential recorder
+    tests and as the mutex baseline of the recorder-throughput
+    micro-benchmark.  Same logging API; [critical_pre] ignores
+    [slots] (the mutex already makes the group atomic). *)
+module Locked : sig
+  type t
+
+  val create : unit -> t
+  val log : t -> thread:Types.thread_id -> Action.kind -> unit
+
+  val critical :
+    t -> thread:Types.thread_id -> ((Action.kind -> unit) -> 'a) -> 'a
+
+  val critical_pre :
+    t ->
+    thread:Types.thread_id ->
+    slots:int ->
+    ((Action.kind -> unit) -> 'a) ->
+    'a
+
+  val fresh_value : t -> Types.value
+  val history : t -> History.t
+  val length : t -> int
+  val clear : t -> unit
+end

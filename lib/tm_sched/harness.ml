@@ -1,12 +1,9 @@
 open Tm_model
 open Tm_lang
 
-(* Sched-instrumented instantiations: every shared-memory access of
+(* The sched-instrumented registry: every shared-memory access of
    these TMs is a deterministic scheduling point. *)
-module Tl2_s = Tl2.Make (Sched.Hooks)
-module Norec_s = Tm_baselines.Norec.Make (Sched.Hooks)
-module Tlrw_s = Tm_baselines.Tlrw.Make (Sched.Hooks)
-module Lock_s = Tm_baselines.Global_lock.Make (Sched.Hooks)
+module Registry = Tm_registry.Make (Sched.Hooks)
 
 type outcome = {
   envs : Ast.env array;
@@ -136,107 +133,37 @@ module Make (T : Tm_runtime.Tm_intf.S) = struct
     snd (run ~pick)
 end
 
-(* ------------------- string-keyed TM dispatching ------------------- *)
+(* --------------------- registry TM dispatching --------------------- *)
 
-module H_tl2 = Make (Tl2_s)
-module H_norec = Make (Norec_s)
-module H_tlrw = Make (Tlrw_s)
-module H_lock = Make (Lock_s)
+(* Each function unpacks the entry's first-class module and applies the
+   generic functor once — no per-TM cases.  Callers must pass entries
+   of the sched-instrumented {!Registry}, typically via
+   [Registry.find_exn]; a production entry would run un-instrumented
+   and make the schedule meaningless. *)
 
-type tm_spec =
-  | Tl2_tm of { variant : Tl2.variant; fence_impl : Tl2.fence_impl }
-  | Norec_tm
-  | Tlrw_tm
-  | Lock_tm
-
-let tm_spec_of_string = function
-  | "tl2" -> Some (Tl2_tm { variant = Tl2.Normal; fence_impl = Tl2.Flag_scan })
-  | "tl2-epoch" ->
-      Some (Tl2_tm { variant = Tl2.Normal; fence_impl = Tl2.Epoch })
-  | "tl2-no-read-validation" ->
-      Some (Tl2_tm { variant = Tl2.No_read_validation; fence_impl = Tl2.Flag_scan })
-  | "tl2-no-commit-validation" ->
-      Some
-        (Tl2_tm { variant = Tl2.No_commit_validation; fence_impl = Tl2.Flag_scan })
-  | "norec" -> Some Norec_tm
-  | "tlrw" -> Some Tlrw_tm
-  | "lock" -> Some Lock_tm
-  | _ -> None
-
-let tm_names =
-  [
-    "tl2"; "tl2-epoch"; "tl2-no-read-validation"; "tl2-no-commit-validation";
-    "norec"; "tlrw"; "lock";
-  ]
-
-(* The four instantiations share the [outcome] type, so a string-keyed
-   front end (tmcheck, CI) can dispatch without functor plumbing. *)
-
-let explore_tm ?fuel ?max_steps ?(nregs = Figures.nregs) ~tm ~policy ~spec
-    ~bug fig =
+let explore_tm ?fuel ?max_steps ?(nregs = Figures.nregs)
+    ~tm:(e : Tm_registry.entry) ~policy ~spec ~bug fig =
+  let module M = (val e.Tm_registry.tm) in
+  let module H = Make (M.T) in
   let nthreads = Array.length fig.Figures.f_program in
-  match tm with
-  | Tl2_tm { variant; fence_impl } ->
-      H_tl2.explore ?fuel ?max_steps ~nregs
-        ~make_tm:(fun r ->
-          Tl2_s.create_with ~recorder:r ~variant ~fence_impl ~nregs
-            ~nthreads ())
-        ~policy ~spec ~bug fig
-  | Norec_tm ->
-      H_norec.explore ?fuel ?max_steps ~nregs
-        ~make_tm:(fun r -> Norec_s.create ~recorder:r ~nregs ~nthreads ())
-        ~policy ~spec ~bug fig
-  | Tlrw_tm ->
-      H_tlrw.explore ?fuel ?max_steps ~nregs
-        ~make_tm:(fun r -> Tlrw_s.create ~recorder:r ~nregs ~nthreads ())
-        ~policy ~spec ~bug fig
-  | Lock_tm ->
-      H_lock.explore ?fuel ?max_steps ~nregs
-        ~make_tm:(fun r -> Lock_s.create ~recorder:r ~nregs ~nthreads ())
-        ~policy ~spec ~bug fig
+  H.explore ?fuel ?max_steps ~nregs
+    ~make_tm:(fun r -> M.make ~recorder:r ~nregs ~nthreads ())
+    ~policy ~spec ~bug fig
 
-let replay_schedule_tm ?fuel ?max_steps ?(nregs = Figures.nregs) ~tm ~policy
-    ~schedule fig =
+let replay_schedule_tm ?fuel ?max_steps ?(nregs = Figures.nregs)
+    ~tm:(e : Tm_registry.entry) ~policy ~schedule fig =
+  let module M = (val e.Tm_registry.tm) in
+  let module H = Make (M.T) in
   let nthreads = Array.length fig.Figures.f_program in
-  match tm with
-  | Tl2_tm { variant; fence_impl } ->
-      H_tl2.replay_schedule ?fuel ?max_steps ~nregs
-        ~make_tm:(fun r ->
-          Tl2_s.create_with ~recorder:r ~variant ~fence_impl ~nregs
-            ~nthreads ())
-        ~policy ~schedule fig
-  | Norec_tm ->
-      H_norec.replay_schedule ?fuel ?max_steps ~nregs
-        ~make_tm:(fun r -> Norec_s.create ~recorder:r ~nregs ~nthreads ())
-        ~policy ~schedule fig
-  | Tlrw_tm ->
-      H_tlrw.replay_schedule ?fuel ?max_steps ~nregs
-        ~make_tm:(fun r -> Tlrw_s.create ~recorder:r ~nregs ~nthreads ())
-        ~policy ~schedule fig
-  | Lock_tm ->
-      H_lock.replay_schedule ?fuel ?max_steps ~nregs
-        ~make_tm:(fun r -> Lock_s.create ~recorder:r ~nregs ~nthreads ())
-        ~policy ~schedule fig
+  H.replay_schedule ?fuel ?max_steps ~nregs
+    ~make_tm:(fun r -> M.make ~recorder:r ~nregs ~nthreads ())
+    ~policy ~schedule fig
 
-let replay_seed_tm ?fuel ?max_steps ?(nregs = Figures.nregs) ~tm ~policy
-    ~spec ~seed fig =
+let replay_seed_tm ?fuel ?max_steps ?(nregs = Figures.nregs)
+    ~tm:(e : Tm_registry.entry) ~policy ~spec ~seed fig =
+  let module M = (val e.Tm_registry.tm) in
+  let module H = Make (M.T) in
   let nthreads = Array.length fig.Figures.f_program in
-  match tm with
-  | Tl2_tm { variant; fence_impl } ->
-      H_tl2.replay_seed ?fuel ?max_steps ~nregs
-        ~make_tm:(fun r ->
-          Tl2_s.create_with ~recorder:r ~variant ~fence_impl ~nregs
-            ~nthreads ())
-        ~policy ~spec ~seed fig
-  | Norec_tm ->
-      H_norec.replay_seed ?fuel ?max_steps ~nregs
-        ~make_tm:(fun r -> Norec_s.create ~recorder:r ~nregs ~nthreads ())
-        ~policy ~spec ~seed fig
-  | Tlrw_tm ->
-      H_tlrw.replay_seed ?fuel ?max_steps ~nregs
-        ~make_tm:(fun r -> Tlrw_s.create ~recorder:r ~nregs ~nthreads ())
-        ~policy ~spec ~seed fig
-  | Lock_tm ->
-      H_lock.replay_seed ?fuel ?max_steps ~nregs
-        ~make_tm:(fun r -> Lock_s.create ~recorder:r ~nregs ~nthreads ())
-        ~policy ~spec ~seed fig
+  H.replay_seed ?fuel ?max_steps ~nregs
+    ~make_tm:(fun r -> M.make ~recorder:r ~nregs ~nthreads ())
+    ~policy ~spec ~seed fig

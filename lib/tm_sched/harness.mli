@@ -13,30 +13,14 @@
 open Tm_model
 open Tm_lang
 
-(** {1 Instrumented TM instances} *)
+(** {1 Instrumented TM registry} *)
 
-module Tl2_s : sig
-  include Tm_runtime.Tm_intf.S
-
-  val create_with :
-    ?recorder:Tm_runtime.Recorder.t ->
-    ?variant:Tl2.variant ->
-    ?fence_impl:Tl2.fence_impl ->
-    ?commit_delay:int ->
-    ?writeback_delay:int ->
-    ?delay_threads:int list ->
-    nregs:int ->
-    nthreads:int ->
-    unit ->
-    t
-
-  val stats_commits : t -> int
-  val stats_aborts : t -> int
-end
-
-module Norec_s : Tm_runtime.Tm_intf.S
-module Tlrw_s : Tm_runtime.Tm_intf.S
-module Lock_s : Tm_runtime.Tm_intf.S
+module Registry : Tm_registry.S
+(** [Tm_registry.Make (Sched.Hooks)]: every registered TM instantiated
+    so that each shared-memory access is a deterministic scheduling
+    point.  The [~tm] arguments below must be entries of this registry
+    (typically [Registry.find_exn name]); production entries would run
+    un-instrumented. *)
 
 (** {1 Execution outcomes and bug oracles} *)
 
@@ -130,22 +114,17 @@ module Make (T : Tm_runtime.Tm_intf.S) : sig
       schedule and history. *)
 end
 
-(** {1 String-keyed dispatch (tmcheck, CI)} *)
+(** {1 Registry dispatch (tmcheck, CI)}
 
-type tm_spec =
-  | Tl2_tm of { variant : Tl2.variant; fence_impl : Tl2.fence_impl }
-  | Norec_tm
-  | Tlrw_tm
-  | Lock_tm
-
-val tm_spec_of_string : string -> tm_spec option
-val tm_names : string list
+    Dispatch by registry {!Tm_registry.entry}: the entry's first-class
+    module is unpacked and run through {!Make} generically, so adding a
+    TM to the registry makes it explorable with no harness changes. *)
 
 val explore_tm :
   ?fuel:int ->
   ?max_steps:int ->
   ?nregs:int ->
-  tm:tm_spec ->
+  tm:Tm_registry.entry ->
   policy:Tm_runtime.Fence_policy.t ->
   spec:Sched.spec ->
   bug:bug ->
@@ -156,7 +135,7 @@ val replay_schedule_tm :
   ?fuel:int ->
   ?max_steps:int ->
   ?nregs:int ->
-  tm:tm_spec ->
+  tm:Tm_registry.entry ->
   policy:Tm_runtime.Fence_policy.t ->
   schedule:int list ->
   Figures.figure ->
@@ -166,7 +145,7 @@ val replay_seed_tm :
   ?fuel:int ->
   ?max_steps:int ->
   ?nregs:int ->
-  tm:tm_spec ->
+  tm:Tm_registry.entry ->
   policy:Tm_runtime.Fence_policy.t ->
   spec:Sched.spec ->
   seed:int ->

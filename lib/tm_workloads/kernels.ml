@@ -1,20 +1,19 @@
 open Tm_runtime
 
+type stats = {
+  ops : int;
+  retries : int;
+  fences : int;
+  seconds : float;
+  throughput : float;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d ops in %.3fs (%.0f ops/s), %d retries, %d fences"
+    s.ops s.seconds s.throughput s.retries s.fences
+
 module Make (T : Tm_intf.S) = struct
   module AB = Atomic_block.Make (T)
-
-  type stats = {
-    ops : int;
-    retries : int;
-    fences : int;
-    seconds : float;
-    throughput : float;
-  }
-
-  let pp_stats ppf s =
-    Format.fprintf ppf
-      "%d ops in %.3fs (%.0f ops/s), %d retries, %d fences" s.ops s.seconds
-      s.throughput s.retries s.fences
 
   type kernel = {
     name : string;
@@ -331,4 +330,35 @@ module Make (T : Tm_intf.S) = struct
       reservation ~resources:64 ~customers:32;
       labyrinth ~dim:32;
     ]
+
+  let kernel_by_name name =
+    let all = counter ~contended:true :: default_kernels () in
+    List.find_opt (fun k -> k.name = name) all
 end
+
+let kernel_names =
+  [
+    "counter/padded";
+    "counter/contended";
+    "bank";
+    "sorted-list";
+    "swap";
+    "reservation";
+    "labyrinth";
+  ]
+
+(* Registry-dispatched kernel driver: look the TM up in the registry
+   and the kernel up by name, create a TM instance sized for the
+   kernel, and run it. *)
+let run_entry ?window ~tm:(e : Tm_registry.entry) ~kernel ~threads
+    ~ops_per_thread ~policy ~seed () =
+  let module M = (val e.Tm_registry.tm) in
+  let module K = Make (M.T) in
+  match K.kernel_by_name kernel with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown kernel %s (known: %s)" kernel
+           (String.concat ", " kernel_names))
+  | Some k ->
+      let tm = M.make ?window ~nregs:k.K.nregs ~nthreads:threads () in
+      K.run tm k ~threads ~ops_per_thread ~policy ~seed

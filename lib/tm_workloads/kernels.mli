@@ -8,17 +8,17 @@
     Operations flagged [requested] model programmer privatization
     annotations: the [Selective] policy fences exactly there. *)
 
+type stats = {
+  ops : int;  (** committed operations across all threads *)
+  retries : int;  (** aborted attempts *)
+  fences : int;  (** fences executed *)
+  seconds : float;
+  throughput : float;  (** ops per second *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
 module Make (T : Tm_runtime.Tm_intf.S) : sig
-  type stats = {
-    ops : int;  (** committed operations across all threads *)
-    retries : int;  (** aborted attempts *)
-    fences : int;  (** fences executed *)
-    seconds : float;
-    throughput : float;  (** ops per second *)
-  }
-
-  val pp_stats : Format.formatter -> stats -> unit
-
   type kernel = {
     name : string;
     nregs : int;  (** registers the kernel needs *)
@@ -71,5 +71,27 @@ module Make (T : Tm_runtime.Tm_intf.S) : sig
   (** Drive a kernel on its TM instance. *)
 
   val default_kernels : unit -> kernel list
-  (** The four kernels with the parameters used by experiment E6. *)
+  (** The kernels with the parameters used by experiment E6. *)
+
+  val kernel_by_name : string -> kernel option
+  (** Look up a kernel (default parameters) by its {!kernel_names}
+      name. *)
 end
+
+val kernel_names : string list
+(** Names accepted by {!run_entry}: the default kernels plus the
+    contended counter. *)
+
+val run_entry :
+  ?window:Tm_registry.window ->
+  tm:Tm_registry.entry ->
+  kernel:string ->
+  threads:int ->
+  ops_per_thread:int ->
+  policy:Tm_runtime.Fence_policy.t ->
+  seed:int ->
+  unit ->
+  stats
+(** Run a named kernel on a registry TM: creates a TM instance sized
+    for the kernel ([nthreads = threads]) and drives it.  Raises
+    [Invalid_argument] listing {!kernel_names} for an unknown kernel. *)

@@ -4,6 +4,41 @@ type result = { r_envs : Ast.env array; r_diverged : bool array }
 
 exception Txn_diverged
 
+type trial_stats = {
+  trials : int;
+  violations : int;
+  divergences : int;
+  aborted_runs : int;
+  seeds : int list;
+}
+
+(* SplitMix-style avalanche so per-trial seeds are deterministic and
+   depend only on (seed, trial index), never on which worker domain
+   happens to run the trial. *)
+let trial_seed ~seed trial =
+  let z = seed + (trial * 0x9e3779b9) in
+  let z = (z lxor (z lsr 16)) * 0x85ebca6b in
+  let z = (z lxor (z lsr 13)) * 0xc2b2ae35 in
+  (z lxor (z lsr 16)) land max_int
+
+let stats_of_outcomes ~seeds outcomes =
+  let violations = ref 0 in
+  let divergences = ref 0 in
+  let aborted_runs = ref 0 in
+  Array.iter
+    (fun (diverged, violated, aborted) ->
+      if diverged then incr divergences;
+      if violated then incr violations;
+      if aborted then incr aborted_runs)
+    outcomes;
+  {
+    trials = Array.length outcomes;
+    violations = !violations;
+    divergences = !divergences;
+    aborted_runs = !aborted_runs;
+    seeds = Array.to_list seeds;
+  }
+
 module Make (T : Tm_runtime.Tm_intf.S) = struct
   (* Interpret one thread's command against the TM.  [elide_ro_fences]
      reproduces the buggy GCC libitm behaviour: a fence is skipped at
@@ -120,23 +155,6 @@ module Make (T : Tm_runtime.Tm_intf.S) = struct
   let read_registers tm nregs =
     List.init nregs (fun x -> (x, T.read_nt tm ~thread:0 x))
 
-  type trial_stats = {
-    trials : int;
-    violations : int;
-    divergences : int;
-    aborted_runs : int;
-    seeds : int list;
-  }
-
-  (* SplitMix-style avalanche so per-trial seeds are deterministic and
-     depend only on (seed, trial index), never on which worker domain
-     happens to run the trial. *)
-  let trial_seed ~seed trial =
-    let z = seed + (trial * 0x9e3779b9) in
-    let z = (z lxor (z lsr 16)) * 0x85ebca6b in
-    let z = (z lxor (z lsr 13)) * 0xc2b2ae35 in
-    (z lxor (z lsr 16)) land max_int
-
   (* One trial on a fresh TM; returns (diverged, violated, aborted). *)
   let run_one_trial ?fuel ~make_tm ~policy ~nregs ~program
       (fig : Figures.figure) tseed =
@@ -157,24 +175,6 @@ module Make (T : Tm_runtime.Tm_intf.S) = struct
         result.r_envs
     in
     (diverged, violated, aborted)
-
-  let stats_of_outcomes ~seeds outcomes =
-    let violations = ref 0 in
-    let divergences = ref 0 in
-    let aborted_runs = ref 0 in
-    Array.iter
-      (fun (diverged, violated, aborted) ->
-        if diverged then incr divergences;
-        if violated then incr violations;
-        if aborted then incr aborted_runs)
-      outcomes;
-    {
-      trials = Array.length outcomes;
-      violations = !violations;
-      divergences = !divergences;
-      aborted_runs = !aborted_runs;
-      seeds = Array.to_list seeds;
-    }
 
   let run_trials ?fuel ?(seed = 0) ~make_tm ~policy ~trials ~nregs
       (fig : Figures.figure) =
@@ -226,3 +226,36 @@ module Make (T : Tm_runtime.Tm_intf.S) = struct
         ~trials ~nregs fig
     else run_trials ?fuel ?seed ~make_tm ~policy ~trials ~nregs fig
 end
+
+(* Registry-dispatched entry points: the TM is a registry {!entry}
+   rather than a functor argument, so drivers need no per-TM functor
+   applications.  The thread count is taken from the figure program. *)
+
+let run_trials_entry ?fuel ?seed ?window ~tm:(e : Tm_registry.entry) ~policy
+    ~trials ~nregs (fig : Figures.figure) =
+  let module M = (val e.Tm_registry.tm) in
+  let module R = Make (M.T) in
+  let nthreads = Array.length fig.Figures.f_program in
+  R.run_trials ?fuel ?seed
+    ~make_tm:(fun () -> M.make ?window ~nregs ~nthreads ())
+    ~policy ~trials ~nregs fig
+
+let run_trials_parallel_entry ?fuel ?seed ?pool ?domains ?window
+    ~tm:(e : Tm_registry.entry) ~policy ~trials ~nregs (fig : Figures.figure)
+    =
+  let module M = (val e.Tm_registry.tm) in
+  let module R = Make (M.T) in
+  let nthreads = Array.length fig.Figures.f_program in
+  R.run_trials_parallel ?fuel ?seed ?pool ?domains
+    ~make_tm:(fun () -> M.make ?window ~nregs ~nthreads ())
+    ~policy ~trials ~nregs fig
+
+let run_trials_auto_entry ?fuel ?seed ?pool ?domains ?window
+    ~tm:(e : Tm_registry.entry) ~policy ~trials ~nregs (fig : Figures.figure)
+    =
+  let module M = (val e.Tm_registry.tm) in
+  let module R = Make (M.T) in
+  let nthreads = Array.length fig.Figures.f_program in
+  R.run_trials_auto ?fuel ?seed ?pool ?domains
+    ~make_tm:(fun () -> M.make ?window ~nregs ~nthreads ())
+    ~policy ~trials ~nregs fig

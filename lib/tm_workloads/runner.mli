@@ -19,6 +19,22 @@ type result = {
   r_diverged : bool array;  (** per thread: fuel exhausted *)
 }
 
+(** Outcome counts over repeated trials of a figure program. *)
+type trial_stats = {
+  trials : int;
+  violations : int;  (** runs where the postcondition failed *)
+  divergences : int;  (** runs where some thread diverged *)
+  aborted_runs : int;  (** runs where some atomic block aborted *)
+  seeds : int list;
+      (** per-trial RNG seeds, in trial order — identical between
+          the sequential and parallel runners for a given [seed] *)
+}
+
+val trial_seed : seed:int -> int -> int
+(** [trial_seed ~seed i] is the deterministic RNG seed of trial [i]:
+    a SplitMix-style hash of [(seed, i)], independent of scheduling
+    and of which pool worker runs the trial. *)
+
 module Make (T : Tm_runtime.Tm_intf.S) : sig
   val exec_thread :
     elide_ro_fences:bool -> T.t -> int -> Ast.com -> int -> Ast.env * bool
@@ -40,22 +56,6 @@ module Make (T : Tm_runtime.Tm_intf.S) : sig
   val read_registers : T.t -> int -> (Tm_model.Types.reg * Tm_model.Types.value) list
   (** Final register values [0..nregs-1], read non-transactionally by
       thread 0 after the program has joined. *)
-
-  (** Outcome counts over repeated trials of a figure program. *)
-  type trial_stats = {
-    trials : int;
-    violations : int;  (** runs where the postcondition failed *)
-    divergences : int;  (** runs where some thread diverged *)
-    aborted_runs : int;  (** runs where some atomic block aborted *)
-    seeds : int list;
-        (** per-trial RNG seeds, in trial order — identical between
-            the sequential and parallel runners for a given [seed] *)
-  }
-
-  val trial_seed : seed:int -> int -> int
-  (** [trial_seed ~seed i] is the deterministic RNG seed of trial [i]:
-      a SplitMix-style hash of [(seed, i)], independent of scheduling
-      and of which pool worker runs the trial. *)
 
   val run_trials :
     ?fuel:int ->
@@ -106,3 +106,48 @@ module Make (T : Tm_runtime.Tm_intf.S) : sig
       allows it and more than one domain is available, otherwise
       {!run_trials}.  [PARALLEL=0] is the sequential escape hatch. *)
 end
+
+(** {2 Registry-dispatched trial runners}
+
+    The TM is a {!Tm_registry.entry} looked up by name; the runner
+    instantiates the interpreter functor internally, so drivers contain
+    no per-TM dispatch.  The TM is created with [nthreads] equal to the
+    figure program's thread count; [window] widens TL2-family race
+    windows and is ignored by TMs without window support. *)
+
+val run_trials_entry :
+  ?fuel:int ->
+  ?seed:int ->
+  ?window:Tm_registry.window ->
+  tm:Tm_registry.entry ->
+  policy:Tm_runtime.Fence_policy.t ->
+  trials:int ->
+  nregs:int ->
+  Figures.figure ->
+  trial_stats
+
+val run_trials_parallel_entry :
+  ?fuel:int ->
+  ?seed:int ->
+  ?pool:Tm_runtime.Pool.t ->
+  ?domains:int ->
+  ?window:Tm_registry.window ->
+  tm:Tm_registry.entry ->
+  policy:Tm_runtime.Fence_policy.t ->
+  trials:int ->
+  nregs:int ->
+  Figures.figure ->
+  trial_stats
+
+val run_trials_auto_entry :
+  ?fuel:int ->
+  ?seed:int ->
+  ?pool:Tm_runtime.Pool.t ->
+  ?domains:int ->
+  ?window:Tm_registry.window ->
+  tm:Tm_registry.entry ->
+  policy:Tm_runtime.Fence_policy.t ->
+  trials:int ->
+  nregs:int ->
+  Figures.figure ->
+  trial_stats

@@ -18,15 +18,6 @@ let aborts f =
 
 (* ------------------------------ NOrec ------------------------------ *)
 
-let test_norec_commit_publishes () =
-  let tm = Norec.create ~nregs:4 ~nthreads:2 () in
-  let txn = Norec.txn_begin tm ~thread:0 in
-  Norec.write tm txn 0 7;
-  Norec.commit tm txn;
-  check int "value published" 7 (Norec.read_nt tm ~thread:1 0);
-  check int "one commit" 1 (Norec.stats_commits tm);
-  check int "no aborts" 0 (Norec.stats_aborts tm)
-
 (* NOrec validates by value, not by timestamp: an unrelated commit bumps
    the global clock but must not abort a transaction whose read set is
    untouched. *)
@@ -136,28 +127,7 @@ let test_tlrw_abort_undoes () =
 
 (* --------------------------- global lock --------------------------- *)
 
-let test_lock_commit_publishes () =
-  let tm = Global_lock.create ~nregs:4 ~nthreads:2 () in
-  let txn = Global_lock.txn_begin tm ~thread:0 in
-  Global_lock.write tm txn 0 7;
-  Global_lock.commit tm txn;
-  check int "value published" 7 (Global_lock.read_nt tm ~thread:1 0)
-
-let test_lock_abort_undoes () =
-  let tm = Global_lock.create ~nregs:4 ~nthreads:2 () in
-  let txn = Global_lock.txn_begin tm ~thread:0 in
-  Global_lock.write tm txn 0 9;
-  Global_lock.write tm txn 1 8;
-  Global_lock.abort tm txn;
-  check int "first write rolled back" v_init (Global_lock.read_nt tm ~thread:0 0);
-  check int "second write rolled back" v_init (Global_lock.read_nt tm ~thread:0 1);
-  (* the global lock is released by the abort *)
-  let txn = Global_lock.txn_begin tm ~thread:0 in
-  Global_lock.write tm txn 0 3;
-  Global_lock.commit tm txn;
-  check int "lock released by abort" 3 (Global_lock.read_nt tm ~thread:0 0)
-
-module L = Harness.Lock_s
+module L = Global_lock.Make (Sched.Hooks)
 
 let alternate : Sched.pick =
  fun ~step ~current:_ ~runnable -> List.nth runnable (step mod List.length runnable)
@@ -201,8 +171,6 @@ let () =
     [
       ( "norec",
         [
-          Alcotest.test_case "commit publishes" `Quick
-            test_norec_commit_publishes;
           Alcotest.test_case "tolerates unrelated commit" `Quick
             test_norec_tolerates_unrelated_commit;
           Alcotest.test_case "aborts on conflicting commit" `Quick
@@ -223,10 +191,6 @@ let () =
         ] );
       ( "global-lock",
         [
-          Alcotest.test_case "commit publishes" `Quick
-            test_lock_commit_publishes;
-          Alcotest.test_case "abort undoes and releases" `Quick
-            test_lock_abort_undoes;
           Alcotest.test_case "mutual exclusion under the scheduler" `Quick
             test_lock_mutual_exclusion_scheduled;
         ] );

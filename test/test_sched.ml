@@ -15,7 +15,7 @@ let int = Alcotest.int
 let policy_none = Tm_runtime.Fence_policy.No_fences
 let policy_sel = Tm_runtime.Fence_policy.Selective
 
-let tl2 = Harness.Tl2_tm { variant = Tl2.Normal; fence_impl = Tl2.Flag_scan }
+let tl2 = Harness.Registry.find_exn "tl2"
 
 let history_text o = Tm_model.Text.to_string o.Harness.history
 
@@ -191,7 +191,7 @@ let test_tl2_epoch_fenced_passes () =
   let fig = Figures.fig1a ~fenced:true () in
   match
     Harness.explore_tm ~fuel:256
-      ~tm:(Harness.Tl2_tm { variant = Tl2.Normal; fence_impl = Tl2.Epoch })
+      ~tm:(Harness.Registry.find_exn "tl2-epoch")
       ~policy:policy_sel
       ~spec:(Sched.Random { seed = 11; execs = 1000 })
       ~bug:Harness.Any fig
@@ -249,9 +249,9 @@ let test_baselines_fence_free_safe () =
             name
             (Harness.describe f.Sched.f_value))
     [
-      ("norec", Harness.Norec_tm);
-      ("tlrw", Harness.Tlrw_tm);
-      ("lock", Harness.Lock_tm);
+      ("norec", Harness.Registry.find_exn "norec");
+      ("tlrw", Harness.Registry.find_exn "tlrw");
+      ("lock", Harness.Registry.find_exn "lock");
     ]
 
 (* Figure 1(b), the doomed transaction: without the fence the worker's
@@ -295,9 +295,7 @@ let lost_update : Figures.figure =
 let test_opacity_violation_found () =
   match
     Harness.explore_tm ~fuel:64
-      ~tm:
-        (Harness.Tl2_tm
-           { variant = Tl2.No_commit_validation; fence_impl = Tl2.Flag_scan })
+      ~tm:(Harness.Registry.find_exn "tl2-no-commit-validation")
       ~policy:policy_none
       ~spec:(Sched.Exhaustive { preemptions = 1; max_execs = 3000 })
       ~bug:Harness.Opacity lost_update
@@ -309,9 +307,7 @@ let test_opacity_violation_found () =
         (f.Sched.f_value.Harness.monitor <> Tm_opacity.Monitor.Ok);
       let replayed =
         Harness.replay_schedule_tm ~fuel:64
-          ~tm:
-            (Harness.Tl2_tm
-               { variant = Tl2.No_commit_validation; fence_impl = Tl2.Flag_scan })
+          ~tm:(Harness.Registry.find_exn "tl2-no-commit-validation")
           ~policy:policy_none ~schedule:f.Sched.f_schedule lost_update
       in
       check bool "opacity replay reproduces the identical history" true
@@ -357,11 +353,10 @@ let test_wf_deterministic_scheduler () =
   let tms =
     [
       tl2;
-      Harness.Tl2_tm
-        { variant = Tl2.No_commit_validation; fence_impl = Tl2.Flag_scan };
-      Harness.Norec_tm;
-      Harness.Tlrw_tm;
-      Harness.Lock_tm;
+      Harness.Registry.find_exn "tl2-no-commit-validation";
+      Harness.Registry.find_exn "norec";
+      Harness.Registry.find_exn "tlrw";
+      Harness.Registry.find_exn "lock";
     ]
   in
   (* [replay_seed_tm] runs one fully deterministic execution per seed,

@@ -99,7 +99,7 @@ let test_fence_immediate_when_quiescent () =
 
 (* ------------------ scheduled (concurrent) paths ------------------- *)
 
-module T = Harness.Tl2_s
+module T = Tl2.Make (Sched.Hooks)
 
 let alternate : Sched.pick =
  fun ~step ~current:_ ~runnable -> List.nth runnable (step mod List.length runnable)

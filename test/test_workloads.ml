@@ -104,6 +104,7 @@ let test_runner_two_threads () =
 (* ----------------------------- kernels ----------------------------- *)
 
 module K = Tm_workloads.Kernels.Make (Tl2)
+module KS = Tm_workloads.Kernels
 
 let run_kernel kernel ~threads ~ops =
   let tm = Tl2.create ~nregs:kernel.K.nregs ~nthreads:threads () in
@@ -116,7 +117,7 @@ let run_kernel kernel ~threads ~ops =
 let test_counter_kernel () =
   let kernel = K.counter ~contended:true in
   let tm, stats = run_kernel kernel ~threads:2 ~ops:200 in
-  check int "ops counted" 400 stats.K.ops;
+  check int "ops counted" 400 stats.KS.ops;
   check int "counter total" 400 (Tl2.read_nt tm ~thread:0 0)
 
 let test_bank_conservation () =
@@ -159,13 +160,13 @@ let test_kernel_fence_accounting () =
     K.run tm kernel ~threads:1 ~ops_per_thread:128
       ~policy:Fence_policy.Conservative ~seed:3
   in
-  check int "conservative fences once per op" 128 stats.K.fences;
+  check int "conservative fences once per op" 128 stats.KS.fences;
   let tm2 = Tl2.create ~nregs:kernel.K.nregs ~nthreads:1 () in
   let stats2 =
     K.run tm2 kernel ~threads:1 ~ops_per_thread:128
       ~policy:Fence_policy.Selective ~seed:3
   in
-  check int "selective fences only privatization points" 2 stats2.K.fences
+  check int "selective fences only privatization points" 2 stats2.KS.fences
 
 let test_reservation_conservation () =
   let resources = 16 and customers = 8 in
@@ -236,6 +237,7 @@ let test_recorded_figure_histories () =
 (* --------------------- parallel trial harness ---------------------- *)
 
 module R_lock = Tm_workloads.Runner.Make (Tm_baselines.Global_lock)
+module RS = Tm_workloads.Runner
 
 (* The parallel runner must be a pure scheduling change: identical
    verdicts and identical per-trial seeds, whatever the domain count.
@@ -255,25 +257,25 @@ let test_parallel_matches_sequential () =
       ~policy:Fence_policy.No_fences ~trials:16 ~nregs:Figures.nregs
       Figures.fig2
   in
-  check int "same trial count" seq.R_lock.trials par.R_lock.trials;
-  check int "same violations" seq.R_lock.violations par.R_lock.violations;
-  check int "same divergences" seq.R_lock.divergences par.R_lock.divergences;
-  check int "same aborted runs" seq.R_lock.aborted_runs
-    par.R_lock.aborted_runs;
-  check (Alcotest.list int) "identical per-trial seeds" seq.R_lock.seeds
-    par.R_lock.seeds;
+  check int "same trial count" seq.RS.trials par.RS.trials;
+  check int "same violations" seq.RS.violations par.RS.violations;
+  check int "same divergences" seq.RS.divergences par.RS.divergences;
+  check int "same aborted runs" seq.RS.aborted_runs
+    par.RS.aborted_runs;
+  check (Alcotest.list int) "identical per-trial seeds" seq.RS.seeds
+    par.RS.seeds;
   (* seeds come from the SplitMix derivation, not the schedule *)
   check (Alcotest.list int) "seeds are the documented derivation"
-    (List.init 16 (R_lock.trial_seed ~seed:42))
-    seq.R_lock.seeds
+    (List.init 16 (RS.trial_seed ~seed:42))
+    seq.RS.seeds
 
 let test_trial_seed_deterministic () =
-  let a = List.init 32 (R_lock.trial_seed ~seed:7) in
-  let b = List.init 32 (R_lock.trial_seed ~seed:7) in
+  let a = List.init 32 (RS.trial_seed ~seed:7) in
+  let b = List.init 32 (RS.trial_seed ~seed:7) in
   check (Alcotest.list int) "stable across calls" a b;
   check int "distinct across trials" 32
     (List.length (List.sort_uniq compare a));
-  let c = List.init 32 (R_lock.trial_seed ~seed:8) in
+  let c = List.init 32 (RS.trial_seed ~seed:8) in
   check bool "base seed matters" false (a = c);
   List.iter
     (fun s -> check bool "non-negative" true (s >= 0))
