@@ -5,7 +5,9 @@
      tmcheck drf NAME                DRF verdict for one figure program
      tmcheck opacity [--variant V]   classify recorded TL2 histories
      tmcheck tms                     list registered TM implementations
-     tmcheck run NAME [options]      runtime trials of a figure on a TM *)
+     tmcheck run NAME [options]      runtime trials of a figure on a TM
+     tmcheck stats [--tm NAME]       kernel workload + telemetry snapshot
+     tmcheck trace [FIGURE] [--out]  Chrome trace_event timeline export *)
 
 open Cmdliner
 open Tm_lang
@@ -513,6 +515,124 @@ let record_cmd =
   Cmd.v (Cmd.info "record" ~doc)
     Term.(const run $ variant_arg $ seed_arg $ out_arg)
 
+(* ----------------------- observability commands -------------------- *)
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON")
+
+let stats_cmd =
+  let doc =
+    "Run a kernel workload on a TM and report its telemetry snapshot: \
+     commits, aborts broken down by cause, and span-duration histograms \
+     (fence waits, validation, lock acquisition)."
+  in
+  let kernel_arg =
+    Arg.(
+      value & opt string "bank"
+      & info [ "kernel" ] ~docv:"KERNEL"
+          ~doc:
+            ("Workload kernel: "
+            ^ String.concat ", " Tm_workloads.Kernels.kernel_names))
+  in
+  let threads_arg =
+    Arg.(
+      value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"Worker domains")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per thread")
+  in
+  let run tm_name kernel threads ops policy seed json out =
+    let entry =
+      tm_entry_or_exit ~find:Tm_registry.find ~names:Tm_registry.names tm_name
+    in
+    warn_policy entry policy;
+    let stats, snap =
+      try
+        Tm_workloads.Kernels.run_entry_obs ~tm:entry ~kernel ~threads
+          ~ops_per_thread:ops ~policy ~seed ()
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    in
+    if json then begin
+      let open Tm_obs in
+      let j =
+        Json.Obj
+          [
+            ("tm", Json.String tm_name);
+            ("kernel", Json.String kernel);
+            ("threads", Json.Int threads);
+            ("policy", Json.String (Tm_runtime.Fence_policy.name policy));
+            ("ops", Json.Int stats.Tm_workloads.Kernels.ops);
+            ("seconds", Json.Float stats.Tm_workloads.Kernels.seconds);
+            ("throughput", Json.Float stats.Tm_workloads.Kernels.throughput);
+            ("retries", Json.Int stats.Tm_workloads.Kernels.retries);
+            ("fences", Json.Int stats.Tm_workloads.Kernels.fences);
+            ("obs", Obs.snapshot_json snap);
+          ]
+      in
+      match out with
+      | Some path -> Json.write_file path j
+      | None -> print_string (Json.to_string j)
+    end
+    else begin
+      Format.printf "%s on %s (policy %s): %a@." kernel tm_name
+        (Tm_runtime.Fence_policy.name policy)
+        Tm_workloads.Kernels.pp_stats stats;
+      Format.printf "@[<v>%a@]@?" Tm_obs.Obs.pp_snapshot snap
+    end
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const run $ tm_arg $ kernel_arg $ threads_arg $ ops_arg $ policy_arg
+      $ seed_arg $ json_flag $ out_arg)
+
+let trace_cmd =
+  let doc =
+    "Record one timed execution of a figure program on a TM and export it \
+     as Chrome trace_event JSON — open in chrome://tracing or Perfetto.  \
+     One timeline row per thread; transactions are duration events \
+     colored by commit/abort, fences get duration plus instant markers."
+  in
+  let fig_default_arg =
+    let doc = "Figure program name: " ^ String.concat ", " figure_names in
+    Arg.(value & pos 0 string "fig1a" & info [] ~docv:"FIGURE" ~doc)
+  in
+  let run name tm_name policy seed out =
+    match figure_by_name name with
+    | None ->
+        Printf.eprintf "unknown figure %s\n" name;
+        exit 2
+    | Some fig ->
+        let entry =
+          tm_entry_or_exit ~find:Tm_registry.find ~names:Tm_registry.names
+            tm_name
+        in
+        warn_policy entry policy;
+        let h, times, snap =
+          Tm_workloads.Runner.record_trace_entry ~seed ~tm:entry ~policy
+            ~nregs:Figures.nregs fig
+        in
+        let trace = Tm_obs.Trace.of_history ~times ~tm:tm_name h in
+        (match out with
+        | Some path ->
+            Tm_obs.Json.write_file path trace;
+            Printf.printf
+              "wrote %s: %d actions, %d transaction events (commits %d, \
+               aborts %d)\n"
+              path
+              (Tm_model.History.length h)
+              (Tm_obs.Trace.txn_event_count trace)
+              snap.Tm_obs.Obs.s_commits
+              (Tm_obs.Obs.aborts_total snap)
+        | None -> print_string (Tm_obs.Json.to_string trace))
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ fig_default_arg $ tm_arg $ policy_arg $ seed_arg $ out_arg)
+
 let () =
   let doc = "checkers and experiments for Safe Privatization in TM" in
   let info = Cmd.info "tmcheck" ~version:"1.0.0" ~doc in
@@ -520,4 +640,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ figures_cmd; drf_cmd; opacity_cmd; tms_cmd; run_cmd; sched_cmd;
-            hist_cmd; record_cmd ]))
+            hist_cmd; record_cmd; stats_cmd; trace_cmd ]))

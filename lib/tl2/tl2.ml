@@ -1,5 +1,6 @@
 open Tm_model
 open Tm_runtime
+module Obs = Tm_obs.Obs
 
 type variant = Normal | No_read_validation | No_commit_validation
 type fence_impl = Flag_scan | Epoch
@@ -29,6 +30,7 @@ module Make (S : Sched_intf.S) = struct
             newest first; lock-free CAS push so the log never serializes
             committing threads (wver = max_int when none generated) *)
     txn_seq : int array;  (** per-thread count of begun transactions *)
+    obs : Obs.t;  (** abort causes and span timings, per-thread sharded *)
   }
 
   type txn = {
@@ -60,6 +62,7 @@ module Make (S : Sched_intf.S) = struct
       aborts = Atomic.make 0;
       timestamp_log = Atomic.make [];
       txn_seq = Array.make nthreads 0;
+      obs = Obs.create ();
     }
 
   let create ?recorder ~nregs ~nthreads () =
@@ -80,6 +83,7 @@ module Make (S : Sched_intf.S) = struct
 
   let stats_commits t = Atomic.get t.commits
   let stats_aborts t = Atomic.get t.aborts
+  let obs t = t.obs
 
   let log t ~thread kind =
     match t.recorder with
@@ -90,13 +94,14 @@ module Make (S : Sched_intf.S) = struct
      request with [aborted], then clear the active flag.  The ordering
      matters for recorded histories: a fence waiting on [active] must
      observe the completion action already logged (condition 10). *)
-  let abort_handler t txn =
+  let abort_handler t txn cause =
     log t ~thread:txn.thread (Action.Response Action.Aborted);
     record_timestamps t txn;
     S.yield ();
     Atomic.set t.active.(txn.thread) false;
     Atomic.incr t.epoch.(txn.thread);
     Atomic.incr t.aborts;
+    Obs.incr_abort t.obs ~thread:txn.thread cause;
     raise Tm_intf.Abort
 
   let txn_begin t ~thread =
@@ -125,6 +130,7 @@ module Make (S : Sched_intf.S) = struct
         log t ~thread:txn.thread (Action.Response (Action.Ret v));
         v
     | None ->
+        let t0 = Obs.start () in
         S.yield ();
         let ts1 = Atomic.get t.ver.(x) in
         S.yield ();
@@ -133,10 +139,17 @@ module Make (S : Sched_intf.S) = struct
         let locked = Atomic.get t.lock.(x) <> -1 in
         S.yield ();
         let ts2 = Atomic.get t.ver.(x) in
+        Obs.stop t.obs ~thread:txn.thread Obs.Span.Read_validation t0;
         if
           t.variant <> No_read_validation
           && (locked || ts1 <> ts2 || txn.rver < ts2)
-        then abort_handler t txn
+        then
+          (* a torn read ([locked] or a version change under our feet) is
+             a read-validation conflict; a consistent snapshot that is
+             simply newer than our begin timestamp is clock drift *)
+          abort_handler t txn
+            (if locked || ts1 <> ts2 then Obs.Read_validation
+             else Obs.Timestamp_drift)
         else begin
           Hashtbl.replace txn.rset x ();
           log t ~thread:txn.thread (Action.Response (Action.Ret value));
@@ -162,6 +175,7 @@ module Make (S : Sched_intf.S) = struct
       Hashtbl.fold (fun x _ acc -> x :: acc) txn.wset [] |> List.sort compare
     in
     (* Phase 1: acquire write locks (lines 11-18). *)
+    let t0 = Obs.start () in
     let acquired_all =
       List.for_all
         (fun x ->
@@ -173,15 +187,17 @@ module Make (S : Sched_intf.S) = struct
           else false)
         wset_regs
     in
+    Obs.stop t.obs ~thread:txn.thread Obs.Span.Write_lock t0;
     if not acquired_all then begin
       unlock_all ();
-      abort_handler t txn
+      abort_handler t txn Obs.Write_lock_busy
     end;
     (* Phase 2: write timestamp (line 19). *)
     S.yield ();
     let wver = Atomic.fetch_and_add t.clock 1 + 1 in
     txn.wver <- wver;
     (* Phase 3: read-set validation (lines 20-26). *)
+    let t0 = Obs.start () in
     let valid =
       t.variant = No_commit_validation
       || Hashtbl.fold
@@ -196,9 +212,10 @@ module Make (S : Sched_intf.S) = struct
               (not locked_by_other) && txn.rver >= ts))
            txn.rset true
     in
+    Obs.stop t.obs ~thread:txn.thread Obs.Span.Commit_validation t0;
     if not valid then begin
       unlock_all ();
-      abort_handler t txn
+      abort_handler t txn Obs.Commit_validation
     end;
     (* Optional widening of the validation/write-back window, used to
        exhibit the delayed-commit anomaly reliably (E1). *)
@@ -234,13 +251,14 @@ module Make (S : Sched_intf.S) = struct
     S.yield ();
     Atomic.set t.active.(txn.thread) false;
     Atomic.incr t.epoch.(txn.thread);
-    Atomic.incr t.commits
+    Atomic.incr t.commits;
+    Obs.incr_commit t.obs ~thread:txn.thread
 
   let abort t txn =
     (* Explicit abandonment: represent it as a commit attempt answered by
        [aborted] so the recorded history stays well-formed. *)
     log t ~thread:txn.thread (Action.Request Action.Txcommit);
-    (try abort_handler t txn with Tm_intf.Abort -> ())
+    (try abort_handler t txn Obs.Explicit with Tm_intf.Abort -> ())
 
   (* Non-transactional accesses yield before the access, outside the
      recorder's critical section: the access itself is a single atomic
@@ -310,9 +328,11 @@ module Make (S : Sched_intf.S) = struct
 
   let fence t ~thread =
     log t ~thread (Action.Request Action.Fbegin);
+    let t0 = Obs.start () in
     (match t.fence_impl with
     | Flag_scan -> fence_flag_scan t
     | Epoch -> fence_epoch t);
+    Obs.stop t.obs ~thread Obs.Span.Fence_wait t0;
     log t ~thread (Action.Response Action.Fend)
 end
 

@@ -55,6 +55,7 @@ module Make (S : Tm_runtime.Sched_intf.S) : sig
   val timestamp_log : t -> (int * int * int * int) list
   val stats_commits : t -> int
   val stats_aborts : t -> int
+  val obs : t -> Tm_obs.Obs.t
 end
 
 include Tm_runtime.Tm_intf.S
@@ -92,3 +93,9 @@ val stats_commits : t -> int
 val stats_aborts : t -> int
 (** Global commit/abort counters (monotonic, approximate under
     contention only in their relative timing). *)
+
+val obs : t -> Tm_obs.Obs.t
+(** The TM's telemetry: per-cause abort counters and span-duration
+    histograms (fence waits, read/commit validation, write-lock
+    acquisition).  Snapshot with {!Tm_obs.Obs.snapshot} at a quiescent
+    point. *)

@@ -1,5 +1,6 @@
 open Tm_model
 open Tm_runtime
+module Obs = Tm_obs.Obs
 
 module Make (S : Sched_intf.S) = struct
   let name = "global-lock"
@@ -15,6 +16,9 @@ module Make (S : Sched_intf.S) = struct
     reg : int Atomic.t array;
     active : bool Atomic.t array;
     recorder : Recorder.t option;
+    commits : int Atomic.t;
+    aborts : int Atomic.t;
+    obs : Obs.t;
   }
 
   type txn = { thread : int; mutable undo : (int * int) list }
@@ -25,7 +29,14 @@ module Make (S : Sched_intf.S) = struct
       reg = Array.init nregs (fun _ -> Atomic.make Types.v_init);
       active = Array.init nthreads (fun _ -> Atomic.make false);
       recorder;
+      commits = Atomic.make 0;
+      aborts = Atomic.make 0;
+      obs = Obs.create ();
     }
+
+  let stats_commits t = Atomic.get t.commits
+  let stats_aborts t = Atomic.get t.aborts
+  let obs t = t.obs
 
   let log t ~thread kind =
     match t.recorder with
@@ -33,6 +44,7 @@ module Make (S : Sched_intf.S) = struct
     | None -> ()
 
   let acquire t thread =
+    let t0 = Obs.start () in
     let rec go () =
       S.yield ();
       if not (Atomic.compare_and_set t.owner (-1) thread) then begin
@@ -40,7 +52,8 @@ module Make (S : Sched_intf.S) = struct
         go ()
       end
     in
-    go ()
+    go ();
+    Obs.stop t.obs ~thread Obs.Span.Write_lock t0
 
   let release t =
     S.yield ();
@@ -77,6 +90,8 @@ module Make (S : Sched_intf.S) = struct
     log t ~thread:txn.thread (Action.Response Action.Committed);
     S.yield ();
     Atomic.set t.active.(txn.thread) false;
+    Atomic.incr t.commits;
+    Obs.incr_commit t.obs ~thread:txn.thread;
     release t
 
   let abort t txn =
@@ -90,6 +105,8 @@ module Make (S : Sched_intf.S) = struct
     log t ~thread:txn.thread (Action.Response Action.Aborted);
     S.yield ();
     Atomic.set t.active.(txn.thread) false;
+    Atomic.incr t.aborts;
+    Obs.incr_abort t.obs ~thread:txn.thread Obs.Explicit;
     release t
 
   let read_nt t ~thread x =
@@ -115,6 +132,7 @@ module Make (S : Sched_intf.S) = struct
 
   let fence t ~thread =
     log t ~thread (Action.Request Action.Fbegin);
+    let t0 = Obs.start () in
     let n = Array.length t.active in
     let r = Array.make n false in
     for u = 0 to n - 1 do
@@ -129,6 +147,7 @@ module Make (S : Sched_intf.S) = struct
         done
       end
     done;
+    Obs.stop t.obs ~thread Obs.Span.Fence_wait t0;
     log t ~thread (Action.Response Action.Fend)
 end
 

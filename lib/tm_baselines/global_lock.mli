@@ -17,6 +17,19 @@
 
 module Make (S : Tm_runtime.Sched_intf.S) : sig
   include Tm_runtime.Tm_intf.S
+
+  val stats_commits : t -> int
+  val stats_aborts : t -> int
+  val obs : t -> Tm_obs.Obs.t
 end
 
 include Tm_runtime.Tm_intf.S
+
+val stats_commits : t -> int
+val stats_aborts : t -> int
+(** Commit/abort counters; aborts are always explicit (this TM never
+    spuriously aborts). *)
+
+val obs : t -> Tm_obs.Obs.t
+(** Telemetry: explicit-abort counts, global-lock acquisition and
+    fence-wait histograms. *)

@@ -1,5 +1,6 @@
 open Tm_model
 open Tm_runtime
+module Obs = Tm_obs.Obs
 
 module Make (S : Sched_intf.S) = struct
   let name = "norec"
@@ -11,6 +12,7 @@ module Make (S : Sched_intf.S) = struct
     recorder : Recorder.t option;
     commits : int Atomic.t;
     aborts : int Atomic.t;
+    obs : Obs.t;
   }
 
   type txn = {
@@ -28,21 +30,24 @@ module Make (S : Sched_intf.S) = struct
       recorder;
       commits = Atomic.make 0;
       aborts = Atomic.make 0;
+      obs = Obs.create ();
     }
 
   let stats_commits t = Atomic.get t.commits
   let stats_aborts t = Atomic.get t.aborts
+  let obs t = t.obs
 
   let log t ~thread kind =
     match t.recorder with
     | Some r -> Recorder.log r ~thread kind
     | None -> ()
 
-  let abort_handler t txn =
+  let abort_handler t txn cause =
     log t ~thread:txn.thread (Action.Response Action.Aborted);
     S.yield ();
     Atomic.set t.active.(txn.thread) false;
     Atomic.incr t.aborts;
+    Obs.incr_abort t.obs ~thread:txn.thread cause;
     raise Tm_intf.Abort
 
   let rec wait_even t =
@@ -66,9 +71,10 @@ module Make (S : Sched_intf.S) = struct
     log t ~thread (Action.Response Action.Okay);
     txn
 
-  (* Value-based validation (may abort): returns a clock value at which
-     the whole read-set was observed consistent. *)
-  let rec validate t txn =
+  (* Value-based validation (may abort with the caller's [cause]):
+     returns a clock value at which the whole read-set was observed
+     consistent. *)
+  let rec validate t txn cause =
     let s = wait_even t in
     let ok =
       Hashtbl.fold
@@ -79,10 +85,10 @@ module Make (S : Sched_intf.S) = struct
            Atomic.get t.reg.(x) = v))
         txn.rset true
     in
-    if not ok then abort_handler t txn
+    if not ok then abort_handler t txn cause
     else begin
       S.yield ();
-      if Atomic.get t.glb <> s then validate t txn else s
+      if Atomic.get t.glb <> s then validate t txn cause else s
     end
 
   let read t txn x =
@@ -92,15 +98,17 @@ module Make (S : Sched_intf.S) = struct
         log t ~thread:txn.thread (Action.Response (Action.Ret v));
         v
     | None ->
+        let t0 = Obs.start () in
         S.yield ();
         let v = ref (Atomic.get t.reg.(x)) in
         S.yield ();
         while txn.snapshot <> Atomic.get t.glb do
-          txn.snapshot <- validate t txn;
+          txn.snapshot <- validate t txn Obs.Read_validation;
           S.yield ();
           v := Atomic.get t.reg.(x);
           S.yield ()
         done;
+        Obs.stop t.obs ~thread:txn.thread Obs.Span.Read_validation t0;
         Hashtbl.replace txn.rset x !v;
         log t ~thread:txn.thread (Action.Response (Action.Ret !v));
         !v
@@ -117,17 +125,21 @@ module Make (S : Sched_intf.S) = struct
       log t ~thread:txn.thread (Action.Response Action.Committed);
       S.yield ();
       Atomic.set t.active.(txn.thread) false;
-      Atomic.incr t.commits
+      Atomic.incr t.commits;
+      Obs.incr_commit t.obs ~thread:txn.thread
     end
     else begin
-      (* acquire the sequence lock at a validated snapshot *)
+      (* acquire the sequence lock at a validated snapshot; validation
+         failure here is a commit-time (value) validation abort *)
+      let t0 = Obs.start () in
       S.yield ();
       while
         not (Atomic.compare_and_set t.glb txn.snapshot (txn.snapshot + 1))
       do
-        txn.snapshot <- validate t txn;
+        txn.snapshot <- validate t txn Obs.Commit_validation;
         S.yield ()
       done;
+      Obs.stop t.obs ~thread:txn.thread Obs.Span.Write_lock t0;
       Hashtbl.iter
         (fun x v ->
           S.yield ();
@@ -138,12 +150,13 @@ module Make (S : Sched_intf.S) = struct
       log t ~thread:txn.thread (Action.Response Action.Committed);
       S.yield ();
       Atomic.set t.active.(txn.thread) false;
-      Atomic.incr t.commits
+      Atomic.incr t.commits;
+      Obs.incr_commit t.obs ~thread:txn.thread
     end
 
   let abort t txn =
     log t ~thread:txn.thread (Action.Request Action.Txcommit);
-    (try abort_handler t txn with Tm_intf.Abort -> ())
+    (try abort_handler t txn Obs.Explicit with Tm_intf.Abort -> ())
 
   let read_nt t ~thread x =
     S.yield ();
@@ -168,6 +181,7 @@ module Make (S : Sched_intf.S) = struct
 
   let fence t ~thread =
     log t ~thread (Action.Request Action.Fbegin);
+    let t0 = Obs.start () in
     let n = Array.length t.active in
     let r = Array.make n false in
     for u = 0 to n - 1 do
@@ -182,6 +196,7 @@ module Make (S : Sched_intf.S) = struct
         done
       end
     done;
+    Obs.stop t.obs ~thread Obs.Span.Fence_wait t0;
     log t ~thread (Action.Response Action.Fend)
 end
 

@@ -21,9 +21,15 @@ module Make (S : Tm_runtime.Sched_intf.S) : sig
 
   val stats_commits : t -> int
   val stats_aborts : t -> int
+  val obs : t -> Tm_obs.Obs.t
 end
 
 include Tm_runtime.Tm_intf.S
 
 val stats_commits : t -> int
 val stats_aborts : t -> int
+
+val obs : t -> Tm_obs.Obs.t
+(** Telemetry: abort causes (value-validation failures at read time vs
+    commit time, explicit aborts) and span histograms (read validation,
+    sequence-lock acquisition, fence waits). *)

@@ -1,5 +1,6 @@
 open Tm_model
 open Tm_runtime
+module Obs = Tm_obs.Obs
 
 (* Lock word per register: bit [wbit] = write-locked, low bits = count
    of visible readers.  A writer requires the word to be exactly 0 (or
@@ -17,6 +18,7 @@ module Make (S : Sched_intf.S) = struct
     spin_bound : int;
     commits : int Atomic.t;
     aborts : int Atomic.t;
+    obs : Obs.t;
   }
 
   type txn = {
@@ -35,6 +37,7 @@ module Make (S : Sched_intf.S) = struct
       spin_bound;
       commits = Atomic.make 0;
       aborts = Atomic.make 0;
+      obs = Obs.create ();
     }
 
   let create ?recorder ~nregs ~nthreads () =
@@ -42,6 +45,7 @@ module Make (S : Sched_intf.S) = struct
 
   let stats_commits t = Atomic.get t.commits
   let stats_aborts t = Atomic.get t.aborts
+  let obs t = t.obs
 
   let log t ~thread kind =
     match t.recorder with
@@ -69,12 +73,13 @@ module Make (S : Sched_intf.S) = struct
     txn.wlocked <- [];
     txn.rlocked <- []
 
-  let abort_handler t txn =
+  let abort_handler t txn cause =
     release_all t txn;
     log t ~thread:txn.thread (Action.Response Action.Aborted);
     S.yield ();
     Atomic.set t.active.(txn.thread) false;
     Atomic.incr t.aborts;
+    Obs.incr_abort t.obs ~thread:txn.thread cause;
     raise Tm_intf.Abort
 
   let txn_begin t ~thread =
@@ -90,7 +95,8 @@ module Make (S : Sched_intf.S) = struct
      writer holds the word. *)
   let acquire_read t txn x =
     let rec go spins =
-      if spins > t.spin_bound then abort_handler t txn
+      (* starving behind a held write lock *)
+      if spins > t.spin_bound then abort_handler t txn Obs.Write_lock_busy
       else begin
         S.yield ();
         let s = Atomic.get t.rw.(x) in
@@ -110,7 +116,7 @@ module Make (S : Sched_intf.S) = struct
     let holding_read = List.mem x txn.rlocked in
     let expected = if holding_read then 1 else 0 in
     let rec go spins =
-      if spins > t.spin_bound then abort_handler t txn
+      if spins > t.spin_bound then abort_handler t txn Obs.Write_lock_busy
       else begin
         S.yield ();
         if Atomic.compare_and_set t.rw.(x) expected wbit then begin
@@ -137,7 +143,14 @@ module Make (S : Sched_intf.S) = struct
 
   let write t txn x v =
     log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
-    if not (List.mem x txn.wlocked) then acquire_write t txn x;
+    if not (List.mem x txn.wlocked) then begin
+      let t0 = Obs.start () in
+      (match acquire_write t txn x with
+      | () -> Obs.stop t.obs ~thread:txn.thread Obs.Span.Write_lock t0
+      | exception e ->
+          Obs.stop t.obs ~thread:txn.thread Obs.Span.Write_lock t0;
+          raise e)
+    end;
     S.yield ();
     txn.undo <- (x, Atomic.get t.reg.(x)) :: txn.undo;
     S.yield ();
@@ -163,11 +176,12 @@ module Make (S : Sched_intf.S) = struct
     log t ~thread:txn.thread (Action.Response Action.Committed);
     S.yield ();
     Atomic.set t.active.(txn.thread) false;
-    Atomic.incr t.commits
+    Atomic.incr t.commits;
+    Obs.incr_commit t.obs ~thread:txn.thread
 
   let abort t txn =
     log t ~thread:txn.thread (Action.Request Action.Txcommit);
-    (try abort_handler t txn with Tm_intf.Abort -> ())
+    (try abort_handler t txn Obs.Explicit with Tm_intf.Abort -> ())
 
   let read_nt t ~thread x =
     S.yield ();
@@ -194,6 +208,7 @@ module Make (S : Sched_intf.S) = struct
     (* TLRW needs no fences for privatization (visible readers), but the
        interface requires one; it waits on the active flags like TL2's. *)
     log t ~thread (Action.Request Action.Fbegin);
+    let t0 = Obs.start () in
     let n = Array.length t.active in
     let r = Array.make n false in
     for u = 0 to n - 1 do
@@ -208,6 +223,7 @@ module Make (S : Sched_intf.S) = struct
         done
       end
     done;
+    Obs.stop t.obs ~thread Obs.Span.Fence_wait t0;
     log t ~thread (Action.Response Action.Fend)
   end
 

@@ -33,6 +33,7 @@ module Make (S : Tm_runtime.Sched_intf.S) : sig
 
   val stats_commits : t -> int
   val stats_aborts : t -> int
+  val obs : t -> Tm_obs.Obs.t
 end
 
 include Tm_runtime.Tm_intf.S
@@ -49,3 +50,7 @@ val create_with :
 
 val stats_commits : t -> int
 val stats_aborts : t -> int
+
+val obs : t -> Tm_obs.Obs.t
+(** Telemetry: every spin-bound abort is classed as a busy-write-lock
+    conflict; write-lock acquisitions and fence waits are timed. *)

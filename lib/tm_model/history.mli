@@ -21,6 +21,10 @@ val get : t -> int -> Action.t
 val append : t -> Action.t -> t
 (** Functional extension of a history with one action. *)
 
+val threads_of : t -> int
+(** Number of threads: one more than the largest thread id occurring in
+    the history (0 for the empty history). *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line rendering, one action per line with indices. *)
 

@@ -1,0 +1,169 @@
+open Tm_model
+
+(* Chrome [trace_event] export: turns a {!Tm_model.History.t} (as
+   produced by [Recorder.history]) into the JSON array format consumed
+   by chrome://tracing and Perfetto.  One timeline row per thread
+   ("tid"); every transaction becomes a duration event ("ph":"X")
+   spanning Txbegin..Committed/Aborted, colored with the reserved
+   Chrome palette names ("good" = committed, "terrible" = aborted);
+   each memory access and commit request becomes a nested duration
+   event; fences become a duration event plus an instant marker.
+
+   Timestamps: when [times] (seconds, aligned with history indices —
+   see [Recorder.history_with_times]) is given, events are placed at
+   real wall-clock microseconds relative to the first action.
+   Otherwise the action's position in the linearization is used as a
+   synthetic microsecond clock, which preserves ordering and still
+   renders fine in Perfetto. *)
+
+type thread_state = {
+  mutable txn_start : float option;
+  mutable txn_seq : int;  (** transactions started on this thread *)
+  mutable op_start : (float * Action.request) option;
+  mutable fence_start : float option;
+}
+
+let op_name = function
+  | Action.Txbegin -> "txbegin"
+  | Action.Txcommit -> "txcommit"
+  | Action.Write (x, v) -> Printf.sprintf "write x%d=%d" x v
+  | Action.Read x -> Printf.sprintf "read x%d" x
+  | Action.Fbegin -> "fence"
+
+let duration ~name ~cat ~pid ~tid ~ts ~dur ?cname () =
+  let base =
+    [
+      ("name", Json.String name);
+      ("cat", Json.String cat);
+      ("ph", Json.String "X");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("ts", Json.Float ts);
+      ("dur", Json.Float (Float.max dur 0.01));
+    ]
+  in
+  Json.Obj
+    (match cname with
+    | None -> base
+    | Some c -> base @ [ ("cname", Json.String c) ])
+
+let instant ~name ~cat ~pid ~tid ~ts =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("cat", Json.String cat);
+      ("ph", Json.String "i");
+      ("s", Json.String "t");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("ts", Json.Float ts);
+    ]
+
+let metadata ~name ~pid ?tid ~value () =
+  let base =
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+    ]
+  in
+  let base = match tid with None -> base | Some t -> base @ [ ("tid", Json.Int t) ] in
+  Json.Obj (base @ [ ("args", Json.Obj [ ("name", Json.String value) ]) ])
+
+let of_history ?times ?(pid = 1) ?(tm = "tm") h =
+  let n = History.length h in
+  let t0 =
+    match times with
+    | Some ts when Array.length ts > 0 -> ts.(0)
+    | _ -> 0.
+  in
+  let ts_of i =
+    match times with
+    | Some ts when i < Array.length ts -> (ts.(i) -. t0) *. 1e6
+    | _ -> float_of_int i
+  in
+  let nthreads = History.threads_of h in
+  let states =
+    Array.init nthreads (fun _ ->
+        { txn_start = None; txn_seq = 0; op_start = None; fence_start = None })
+  in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  push (metadata ~name:"process_name" ~pid ~value:tm ());
+  for tid = 0 to nthreads - 1 do
+    push
+      (metadata ~name:"thread_name" ~pid ~tid
+         ~value:(Printf.sprintf "domain %d" tid) ())
+  done;
+  for i = 0 to n - 1 do
+    let a = History.get h i in
+    let tid = a.Action.thread in
+    let st = states.(tid) in
+    let ts = ts_of i in
+    match a.Action.kind with
+    | Action.Request Action.Fbegin -> st.fence_start <- Some ts
+    | Action.Request Action.Txbegin ->
+        st.txn_start <- Some ts;
+        st.txn_seq <- st.txn_seq + 1;
+        st.op_start <- Some (ts, Action.Txbegin)
+    | Action.Request r -> st.op_start <- Some (ts, r)
+    | Action.Response Action.Fend ->
+        (match st.fence_start with
+        | Some ts0 ->
+            push
+              (duration ~name:"fence" ~cat:"fence" ~pid ~tid ~ts:ts0
+                 ~dur:(ts -. ts0) ~cname:"generic_work" ());
+            push (instant ~name:"fence" ~cat:"fence" ~pid ~tid ~ts:ts0)
+        | None -> ());
+        st.fence_start <- None
+    | Action.Response resp ->
+        let close_op cat =
+          (match st.op_start with
+          | Some (ts0, r) ->
+              push
+                (duration ~name:(op_name r) ~cat ~pid ~tid ~ts:ts0
+                   ~dur:(ts -. ts0) ())
+          | None -> ());
+          st.op_start <- None
+        in
+        let close_txn outcome cname =
+          (match st.txn_start with
+          | Some ts0 ->
+              push
+                (duration
+                   ~name:(Printf.sprintf "txn #%d (%s)" st.txn_seq outcome)
+                   ~cat:"txn" ~pid ~tid ~ts:ts0 ~dur:(ts -. ts0) ~cname ())
+          | None -> ());
+          st.txn_start <- None
+        in
+        (match resp with
+        | Action.Okay -> st.op_start <- None
+        | Action.Ret_unit | Action.Ret _ ->
+            close_op (if st.txn_start <> None then "op" else "nt")
+        | Action.Committed ->
+            close_op "op";
+            close_txn "commit" "good"
+        | Action.Aborted ->
+            close_op "op";
+            close_txn "abort" "terrible"
+        | Action.Fend -> ())
+  done;
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+      ("otherData", Json.Obj [ ("tm", Json.String tm) ]);
+    ]
+
+(* Number of transaction duration events in an exported trace; the
+   shape tests compare this against the transactions in the history. *)
+let txn_event_count json =
+  match Json.member "traceEvents" json with
+  | Some (Json.Arr events) ->
+      List.length
+        (List.filter
+           (fun e ->
+             Json.member "ph" e = Some (Json.String "X")
+             && Json.member "cat" e = Some (Json.String "txn"))
+           events)
+  | _ -> 0

@@ -24,7 +24,8 @@ module type TM = sig
     unit ->
     T.t
 
-  val stats : T.t -> (int * int) option
+  val stats : T.t -> int * int
+  val snapshot : T.t -> Tm_obs.Obs.snapshot
 end
 
 type entry = {
@@ -80,7 +81,8 @@ module Make (Sch : Tm_runtime.Sched_intf.S) = struct
           ~writeback_delay:window.writeback_delay
           ?delay_threads:window.delay_threads ~nregs ~nthreads ()
 
-      let stats t = Some (T.stats_commits t, T.stats_aborts t)
+      let stats t = (T.stats_commits t, T.stats_aborts t)
+      let snapshot t = Tm_obs.Obs.snapshot (T.obs t)
     end in
     {
       name;
@@ -101,7 +103,8 @@ module Make (Sch : Tm_runtime.Sched_intf.S) = struct
       let make ?recorder ?window:_ ~nregs ~nthreads () =
         T.create ?recorder ~nregs ~nthreads ()
 
-      let stats t = Some (T.stats_commits t, T.stats_aborts t)
+      let stats t = (T.stats_commits t, T.stats_aborts t)
+      let snapshot t = Tm_obs.Obs.snapshot (T.obs t)
     end in
     {
       name = "norec";
@@ -122,7 +125,8 @@ module Make (Sch : Tm_runtime.Sched_intf.S) = struct
       let make ?recorder ?window:_ ~nregs ~nthreads () =
         T.create_with ?recorder ~nregs ~nthreads ()
 
-      let stats t = Some (T.stats_commits t, T.stats_aborts t)
+      let stats t = (T.stats_commits t, T.stats_aborts t)
+      let snapshot t = Tm_obs.Obs.snapshot (T.obs t)
     end in
     {
       name = "tlrw";
@@ -143,7 +147,8 @@ module Make (Sch : Tm_runtime.Sched_intf.S) = struct
       let make ?recorder ?window:_ ~nregs ~nthreads () =
         T.create ?recorder ~nregs ~nthreads ()
 
-      let stats _ = None
+      let stats t = (T.stats_commits t, T.stats_aborts t)
+      let snapshot t = Tm_obs.Obs.snapshot (T.obs t)
     end in
     {
       name = "lock";

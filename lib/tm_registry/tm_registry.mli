@@ -35,8 +35,13 @@ module type TM = sig
     unit ->
     T.t
 
-  val stats : T.t -> (int * int) option
-  (** [(commits, aborts)] counters, when the TM keeps them. *)
+  val stats : T.t -> int * int
+  (** [(commits, aborts)] counters.  Every TM keeps them (the
+      global-lock baseline counts its explicit aborts). *)
+
+  val snapshot : T.t -> Tm_obs.Obs.snapshot
+  (** Structured telemetry: commits, aborts by cause, span histograms.
+      Zero-valued when the TM has recorded nothing. *)
 end
 
 type entry = {

@@ -32,6 +32,7 @@ type shard = {
   (* parallel arrays, so appends allocate nothing in the steady state *)
   mutable stamps : int array;
   mutable kinds : Action.kind array;
+  mutable times : float array;  (** wall-clock seconds; empty unless timed *)
   mutable len : int;
 }
 
@@ -44,18 +45,23 @@ type t = {
   grow_mutex : Mutex.t;
   nt_mutex : Mutex.t;
   value_counter : int Atomic.t;
+  timed : bool;
+      (* when set, every append also takes a [Unix.gettimeofday]
+         timestamp, for the trace exporter; off by default to keep the
+         hot path clock-free *)
 }
 
 let dummy_kind = Action.Request Action.Fbegin
 let initial_chunk = 256
 
-let create () =
+let create ?(timed = false) () =
   {
     stamp = Atomic.make 0;
     shards = Atomic.make [||];
     grow_mutex = Mutex.create ();
     nt_mutex = Mutex.create ();
     value_counter = Atomic.make 1;
+    timed;
   }
 
 let rec shard t thread =
@@ -74,6 +80,8 @@ let rec shard t thread =
                  owner = i;
                  stamps = Array.make initial_chunk 0;
                  kinds = Array.make initial_chunk dummy_kind;
+                 times =
+                   (if t.timed then Array.make initial_chunk 0. else [||]);
                  len = 0;
                }));
     Mutex.unlock t.grow_mutex;
@@ -83,16 +91,23 @@ let rec shard t thread =
 (* owner-only: never called concurrently for the same shard *)
 let append sh stamp kind =
   let cap = Array.length sh.stamps in
+  let timed = Array.length sh.times > 0 in
   if sh.len = cap then begin
     let stamps = Array.make (2 * cap) 0 in
     let kinds = Array.make (2 * cap) dummy_kind in
     Array.blit sh.stamps 0 stamps 0 cap;
     Array.blit sh.kinds 0 kinds 0 cap;
+    if timed then begin
+      let times = Array.make (2 * cap) 0. in
+      Array.blit sh.times 0 times 0 cap;
+      sh.times <- times
+    end;
     sh.stamps <- stamps;
     sh.kinds <- kinds
   end;
   sh.stamps.(sh.len) <- stamp;
   sh.kinds.(sh.len) <- kind;
+  if timed then sh.times.(sh.len) <- Unix.gettimeofday ();
   sh.len <- sh.len + 1
 
 let log t ~thread kind =
@@ -152,24 +167,41 @@ let fresh_value t = Atomic.fetch_and_add t.value_counter 1
 let length t =
   Array.fold_left (fun n sh -> n + sh.len) 0 (Atomic.get t.shards)
 
-let history t =
+let merged t =
   let shards = Atomic.get t.shards in
   let total = Array.fold_left (fun n sh -> n + sh.len) 0 shards in
-  let all = Array.make (max total 1) (0, 0, dummy_kind) in
+  let all = Array.make (max total 1) (0, 0, dummy_kind, 0.) in
   let k = ref 0 in
   Array.iter
     (fun sh ->
+      let timed = Array.length sh.times >= sh.len && sh.len > 0 in
       for i = 0 to sh.len - 1 do
-        all.(!k) <- (sh.stamps.(i), sh.owner, sh.kinds.(i));
+        all.(!k) <-
+          ( sh.stamps.(i), sh.owner, sh.kinds.(i),
+            if timed then sh.times.(i) else 0. );
         incr k
       done)
     shards;
   let all = Array.sub all 0 total in
-  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) all;
+  Array.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) all;
+  all
+
+let history t =
   History.of_list
     (List.mapi
-       (fun id (_, thread, kind) -> { Action.id; Action.thread; Action.kind })
-       (Array.to_list all))
+       (fun id (_, thread, kind, _) -> { Action.id; Action.thread; Action.kind })
+       (Array.to_list (merged t)))
+
+let history_with_times t =
+  let all = merged t in
+  let h =
+    History.of_list
+      (List.mapi
+         (fun id (_, thread, kind, _) ->
+           { Action.id; Action.thread; Action.kind })
+         (Array.to_list all))
+  in
+  (h, Array.map (fun (_, _, _, time) -> time) all)
 
 let clear t =
   Array.iter (fun sh -> sh.len <- 0) (Atomic.get t.shards);

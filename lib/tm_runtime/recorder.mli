@@ -34,7 +34,10 @@ open Tm_model
 
 type t
 
-val create : unit -> t
+val create : ?timed:bool -> unit -> t
+(** [timed] (default false) additionally stamps every logged action
+    with [Unix.gettimeofday], for {!history_with_times} and the trace
+    exporter; untimed recorders never touch the clock. *)
 
 val log : t -> thread:Types.thread_id -> Action.kind -> unit
 (** Append one action with the next stamp (lock-free). *)
@@ -60,6 +63,10 @@ val fresh_value : t -> Types.value
 val history : t -> History.t
 (** The recorded history: shards merged by stamp, ids reassigned
     densely in merge order.  Call at quiescent moments. *)
+
+val history_with_times : t -> History.t * float array
+(** The history plus per-action wall-clock seconds aligned with its
+    indices (all zero unless the recorder was created [~timed:true]). *)
 
 val length : t -> int
 (** Number of recorded actions (quiescent moments). *)

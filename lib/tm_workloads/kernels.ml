@@ -350,7 +350,7 @@ let kernel_names =
 (* Registry-dispatched kernel driver: look the TM up in the registry
    and the kernel up by name, create a TM instance sized for the
    kernel, and run it. *)
-let run_entry ?window ~tm:(e : Tm_registry.entry) ~kernel ~threads
+let run_entry_obs ?window ~tm:(e : Tm_registry.entry) ~kernel ~threads
     ~ops_per_thread ~policy ~seed () =
   let module M = (val e.Tm_registry.tm) in
   let module K = Make (M.T) in
@@ -361,4 +361,8 @@ let run_entry ?window ~tm:(e : Tm_registry.entry) ~kernel ~threads
            (String.concat ", " kernel_names))
   | Some k ->
       let tm = M.make ?window ~nregs:k.K.nregs ~nthreads:threads () in
-      K.run tm k ~threads ~ops_per_thread ~policy ~seed
+      let stats = K.run tm k ~threads ~ops_per_thread ~policy ~seed in
+      (stats, M.snapshot tm)
+
+let run_entry ?window ~tm ~kernel ~threads ~ops_per_thread ~policy ~seed () =
+  fst (run_entry_obs ?window ~tm ~kernel ~threads ~ops_per_thread ~policy ~seed ())

@@ -95,3 +95,17 @@ val run_entry :
 (** Run a named kernel on a registry TM: creates a TM instance sized
     for the kernel ([nthreads = threads]) and drives it.  Raises
     [Invalid_argument] listing {!kernel_names} for an unknown kernel. *)
+
+val run_entry_obs :
+  ?window:Tm_registry.window ->
+  tm:Tm_registry.entry ->
+  kernel:string ->
+  threads:int ->
+  ops_per_thread:int ->
+  policy:Tm_runtime.Fence_policy.t ->
+  seed:int ->
+  unit ->
+  stats * Tm_obs.Obs.snapshot
+(** Like {!run_entry}, additionally returning the TM's telemetry
+    snapshot (abort causes, span histograms) taken after the workload
+    quiesced. *)

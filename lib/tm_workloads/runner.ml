@@ -259,3 +259,20 @@ let run_trials_auto_entry ?fuel ?seed ?pool ?domains ?window
   R.run_trials_auto ?fuel ?seed ?pool ?domains
     ~make_tm:(fun () -> M.make ?window ~nregs ~nthreads ())
     ~policy ~trials ~nregs fig
+
+(* One recorded execution of a figure program on a timed recorder: the
+   raw material of the Chrome-trace exporter.  Returns the merged
+   history, the per-action wall-clock timestamps aligned with its
+   indices, and the TM's telemetry snapshot. *)
+let record_trace_entry ?fuel ?(seed = 0) ?window ~tm:(e : Tm_registry.entry)
+    ~policy ~nregs (fig : Figures.figure) =
+  let module M = (val e.Tm_registry.tm) in
+  let module R = Make (M.T) in
+  let nthreads = Array.length fig.Figures.f_program in
+  let recorder = Tm_runtime.Recorder.create ~timed:true () in
+  let tm = M.make ~recorder ?window ~nregs ~nthreads () in
+  let program = Policy.apply policy fig.Figures.f_program in
+  Random.init (trial_seed ~seed 0);
+  let (_ : result) = R.exec ?fuel ~policy tm program in
+  let h, times = Tm_runtime.Recorder.history_with_times recorder in
+  (h, times, M.snapshot tm)

@@ -151,3 +151,17 @@ val run_trials_auto_entry :
   nregs:int ->
   Figures.figure ->
   trial_stats
+
+val record_trace_entry :
+  ?fuel:int ->
+  ?seed:int ->
+  ?window:Tm_registry.window ->
+  tm:Tm_registry.entry ->
+  policy:Tm_runtime.Fence_policy.t ->
+  nregs:int ->
+  Figures.figure ->
+  Tm_model.History.t * float array * Tm_obs.Obs.snapshot
+(** One execution of the figure program on a registry TM with a
+    [~timed:true] recorder: the recorded history, per-action wall-clock
+    seconds aligned with its indices, and the TM's telemetry snapshot —
+    everything {!Tm_obs.Trace.of_history} needs. *)

@@ -30,11 +30,9 @@ let seq_cases (e : Tm_registry.entry) =
     T.write tm txn 0 7;
     T.commit tm txn;
     check int "value published" 7 (T.read_nt tm ~thread:1 0);
-    match M.stats tm with
-    | None -> ()
-    | Some (commits, aborts) ->
-        check int "one commit" 1 commits;
-        check int "no aborts" 0 aborts
+    let commits, aborts = M.stats tm in
+    check int "one commit" 1 commits;
+    check int "no aborts" 0 aborts
   in
   let abort_discards () =
     let tm = make () in
@@ -74,6 +72,26 @@ let seq_cases (e : Tm_registry.entry) =
     T.fence tm ~thread:1;
     check bool "fence with no active transactions returns" true true
   in
+  (* the structured snapshot must agree with the raw counters, starting
+     from an all-zero state, and classify an explicit abort as such *)
+  let obs_matches_stats () =
+    let module Obs = Tm_obs.Obs in
+    let tm = make () in
+    let s0 = M.snapshot tm in
+    check int "fresh snapshot: no commits" 0 s0.Obs.s_commits;
+    check int "fresh snapshot: no aborts" 0 (Obs.aborts_total s0);
+    let txn = T.txn_begin tm ~thread:0 in
+    T.write tm txn 0 1;
+    T.commit tm txn;
+    let txn = T.txn_begin tm ~thread:0 in
+    T.write tm txn 1 2;
+    T.abort tm txn;
+    let commits, aborts = M.stats tm in
+    let s = M.snapshot tm in
+    check int "snapshot commits = stats commits" commits s.Obs.s_commits;
+    check int "snapshot aborts = stats aborts" aborts (Obs.aborts_total s);
+    check int "explicit abort classified" 1 (Obs.abort_count s Obs.Explicit)
+  in
   [
     Alcotest.test_case (e.Tm_registry.name ^ ": commit publishes") `Quick
       commit_publishes;
@@ -85,6 +103,8 @@ let seq_cases (e : Tm_registry.entry) =
       nt_roundtrip;
     Alcotest.test_case (e.Tm_registry.name ^ ": quiescent fence") `Quick
       fence_quiescent;
+    Alcotest.test_case (e.Tm_registry.name ^ ": obs snapshot matches stats")
+      `Quick obs_matches_stats;
   ]
 
 (* -------------- QCheck: agreement with a plain array -------------- *)

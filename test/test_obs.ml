@@ -1,0 +1,331 @@
+(* The observability layer: the JSON tree (emitter and parser must
+   round-trip), the sharded counters and log2 histograms (including
+   merges under real domain parallelism), the abort-cause taxonomy
+   (each cause provoked deterministically on the TM that reports it),
+   the OBS escape hatch, the timed recorder, and the shape of exported
+   Chrome traces. *)
+
+module Obs = Tm_obs.Obs
+module Json = Tm_obs.Json
+module Trace = Tm_obs.Trace
+module Recorder = Tm_runtime.Recorder
+module Figures = Tm_lang.Figures
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let v_init = Tm_model.Types.v_init
+
+(* ------------------------------ JSON ------------------------------- *)
+
+let roundtrip v =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> v'
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+let json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flag", Json.Bool true);
+        ("n", Json.Int (-42));
+        ("pi", Json.Float 0.5);
+        ("s", Json.String "a\"b\\c\nd\te");
+        ("empty_arr", Json.Arr []);
+        ("empty_obj", Json.Obj []);
+        ("nums", Json.Arr [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+        ( "nested",
+          Json.Arr [ Json.Obj [ ("k", Json.String "v") ]; Json.Bool false ] );
+      ]
+  in
+  check bool "roundtrips" true (roundtrip v = v)
+
+let json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    [ "{"; "[1,"; "tru"; "1 2"; "{\"k\" 1}"; "" ]
+
+let json_member () =
+  let v = Json.Obj [ ("a", Json.Int 1); ("b", Json.Bool false) ] in
+  check bool "present" true (Json.member "a" v = Some (Json.Int 1));
+  check bool "absent" true (Json.member "c" v = None);
+  check bool "non-object" true (Json.member "a" (Json.Arr []) = None)
+
+(* ------------------------ buckets and shards ----------------------- *)
+
+let bucket_edges () =
+  List.iter
+    (fun (ns, expected) ->
+      check int (Printf.sprintf "bucket of %dns" ns) expected
+        (Obs.bucket_index ns))
+    [
+      (0, 0); (1, 0); (2, 1); (3, 1); (4, 2); (7, 2); (8, 3); (1023, 9);
+      (1024, 10); (max_int, Obs.buckets - 1);
+    ]
+
+let zero_snapshot () =
+  let s = Obs.zero () in
+  check int "no commits" 0 s.Obs.s_commits;
+  check int "no aborts" 0 (Obs.aborts_total s);
+  check int "every cause present" Obs.ncauses (List.length s.Obs.s_aborts);
+  check int "every span present" Obs.Span.count (List.length s.Obs.s_spans);
+  (* the JSON projection keeps the full structure even when empty *)
+  let j = Obs.snapshot_json s in
+  (match Json.member "aborts_by_cause" j with
+  | Some (Json.Obj fields) ->
+      check int "all causes in json" Obs.ncauses (List.length fields)
+  | _ -> Alcotest.fail "aborts_by_cause missing");
+  match Json.member "spans" j with
+  | Some (Json.Obj fields) ->
+      check int "all spans in json" Obs.Span.count (List.length fields)
+  | _ -> Alcotest.fail "spans missing"
+
+let hist span s =
+  match Obs.span_hist s span with
+  | Some h -> h
+  | None -> Alcotest.fail "span missing from snapshot"
+
+(* Shards are merged correctly when written from real domains: every
+   pool task uses its index as the owning thread id, so all shards fill
+   concurrently. *)
+let parallel_merge () =
+  let obs = Obs.create () in
+  let tasks = 8 and per = 1_000 in
+  Tm_runtime.Pool.with_pool ~domains:4 (fun pool ->
+      Tm_runtime.Pool.run pool ~tasks (fun i ->
+          let cause = List.nth Obs.abort_causes (i mod Obs.ncauses) in
+          for _ = 1 to per do
+            Obs.incr_commit obs ~thread:i;
+            Obs.incr_abort obs ~thread:i cause;
+            Obs.record_ns obs ~thread:i Obs.Span.Fence_wait (1 lsl i)
+          done));
+  let s = Obs.snapshot obs in
+  check int "commits summed" (tasks * per) s.Obs.s_commits;
+  check int "aborts summed" (tasks * per) (Obs.aborts_total s);
+  (* causes 0 and 1 got two task ids each (8 tasks over 6 causes) *)
+  check int "wrapped cause" (2 * per) (Obs.abort_count s Obs.Read_validation);
+  check int "single cause" per (Obs.abort_count s Obs.Timestamp_drift);
+  let h = hist Obs.Span.Fence_wait s in
+  check int "samples summed" (tasks * per) h.Obs.h_count;
+  check int "durations summed" (per * ((1 lsl tasks) - 1)) h.Obs.h_total_ns;
+  (* task i wrote 2^i ns, which lands exactly in bucket i *)
+  for i = 0 to tasks - 1 do
+    check int (Printf.sprintf "bucket %d" i) per h.Obs.h_buckets.(i)
+  done
+
+let escape_hatch () =
+  let was = Obs.timers_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Obs.set_timers_enabled was)
+    (fun () ->
+      let obs = Obs.create () in
+      Obs.set_timers_enabled false;
+      let t0 = Obs.start () in
+      check int "disabled start yields no anchor" 0 t0;
+      Obs.stop obs ~thread:0 Obs.Span.Fence_wait t0;
+      check int "disabled stop records nothing" 0
+        (hist Obs.Span.Fence_wait (Obs.snapshot obs)).Obs.h_count;
+      (* counters are not gated by the timer switch *)
+      Obs.incr_commit obs ~thread:0;
+      check int "counters still live" 1 (Obs.snapshot obs).Obs.s_commits;
+      Obs.set_timers_enabled true;
+      let t0 = Obs.start () in
+      check bool "enabled start yields an anchor" true (t0 > 0);
+      Obs.stop obs ~thread:0 Obs.Span.Fence_wait t0;
+      check int "enabled stop records" 1
+        (hist Obs.Span.Fence_wait (Obs.snapshot obs)).Obs.h_count)
+
+(* -------------------- abort causes, per mechanism ------------------ *)
+
+(* TL2: a consistent read that is merely newer than the reader's begin
+   timestamp is clock drift, not a torn read. *)
+let tl2_timestamp_drift () =
+  let tm = Tl2.create ~nregs:2 ~nthreads:2 () in
+  let a = Tl2.txn_begin tm ~thread:0 in
+  let b = Tl2.txn_begin tm ~thread:1 in
+  Tl2.write tm b 0 5;
+  Tl2.commit tm b;
+  (match Tl2.read tm a 0 with
+  | _ -> Alcotest.fail "stale read unexpectedly succeeded"
+  | exception Tm_runtime.Tm_intf.Abort -> ());
+  let s = Obs.snapshot (Tl2.obs tm) in
+  check int "classified as drift" 1 (Obs.abort_count s Obs.Timestamp_drift);
+  check int "only cause" 1 (Obs.aborts_total s)
+
+(* TL2: a read-set register overwritten between read and commit fails
+   commit-time validation. *)
+let tl2_commit_validation () =
+  let tm = Tl2.create ~nregs:2 ~nthreads:2 () in
+  let a = Tl2.txn_begin tm ~thread:0 in
+  check int "initial read" v_init (Tl2.read tm a 0);
+  let b = Tl2.txn_begin tm ~thread:1 in
+  Tl2.write tm b 0 5;
+  Tl2.commit tm b;
+  Tl2.write tm a 1 9;
+  (match Tl2.commit tm a with
+  | () -> Alcotest.fail "invalid commit unexpectedly succeeded"
+  | exception Tm_runtime.Tm_intf.Abort -> ());
+  let s = Obs.snapshot (Tl2.obs tm) in
+  check int "classified as commit validation" 1
+    (Obs.abort_count s Obs.Commit_validation);
+  check int "one commit (b)" 1 s.Obs.s_commits
+
+(* NOrec revalidates the read set by value as soon as the sequence
+   number moves: at the next read, and again at commit. *)
+let norec_read_validation () =
+  let module N = Tm_baselines.Norec in
+  let tm = N.create ~nregs:2 ~nthreads:2 () in
+  let a = N.txn_begin tm ~thread:0 in
+  check int "initial read" v_init (N.read tm a 0);
+  let b = N.txn_begin tm ~thread:1 in
+  N.write tm b 0 7;
+  N.commit tm b;
+  (match N.read tm a 1 with
+  | _ -> Alcotest.fail "doomed read unexpectedly succeeded"
+  | exception Tm_runtime.Tm_intf.Abort -> ());
+  let s = Obs.snapshot (N.obs tm) in
+  check int "classified as read validation" 1
+    (Obs.abort_count s Obs.Read_validation)
+
+let norec_commit_validation () =
+  let module N = Tm_baselines.Norec in
+  let tm = N.create ~nregs:2 ~nthreads:2 () in
+  let a = N.txn_begin tm ~thread:0 in
+  check int "initial read" v_init (N.read tm a 0);
+  N.write tm a 1 9;
+  let b = N.txn_begin tm ~thread:1 in
+  N.write tm b 0 7;
+  N.commit tm b;
+  (match N.commit tm a with
+  | () -> Alcotest.fail "invalid commit unexpectedly succeeded"
+  | exception Tm_runtime.Tm_intf.Abort -> ());
+  let s = Obs.snapshot (N.obs tm) in
+  check int "classified as commit validation" 1
+    (Obs.abort_count s Obs.Commit_validation)
+
+(* TLRW: a bounded spin on a busy byte lock converts deadlock into a
+   busy-write-lock abort. *)
+let tlrw_write_lock_busy () =
+  let module W = Tm_baselines.Tlrw in
+  let tm = W.create_with ~spin_bound:32 ~nregs:2 ~nthreads:2 () in
+  let a = W.txn_begin tm ~thread:0 in
+  W.write tm a 0 1;
+  let b = W.txn_begin tm ~thread:1 in
+  (match W.write tm b 0 2 with
+  | () -> Alcotest.fail "conflicting write unexpectedly succeeded"
+  | exception Tm_runtime.Tm_intf.Abort -> ());
+  let s = Obs.snapshot (W.obs tm) in
+  check int "classified as busy write lock" 1
+    (Obs.abort_count s Obs.Write_lock_busy);
+  W.commit tm a;
+  check int "winner still commits" 1 (Obs.snapshot (W.obs tm)).Obs.s_commits
+
+(* --------------------------- timed recorder ------------------------ *)
+
+let timed_recorder () =
+  let r = Recorder.create ~timed:true () in
+  let n = 10 in
+  for i = 0 to n - 1 do
+    Recorder.log r ~thread:0
+      (Tm_model.Action.Request (Tm_model.Action.Write (0, i)))
+  done;
+  let h, times = Recorder.history_with_times r in
+  check int "one time per action" (Tm_model.History.length h)
+    (Array.length times);
+  check int "all actions kept" n (Array.length times);
+  Array.iter (fun t -> check bool "timestamp taken" true (t > 0.)) times;
+  for i = 1 to n - 1 do
+    check bool "single-thread times monotone" true (times.(i) >= times.(i - 1))
+  done
+
+let untimed_recorder () =
+  let r = Recorder.create () in
+  Recorder.log r ~thread:0 (Tm_model.Action.Request (Tm_model.Action.Read 0));
+  let _, times = Recorder.history_with_times r in
+  Array.iter (fun t -> check bool "no clock reads" true (t = 0.)) times
+
+(* ---------------------------- trace shape -------------------------- *)
+
+let arr_exn = function
+  | Some (Json.Arr xs) -> xs
+  | _ -> Alcotest.fail "expected an array"
+
+let golden_trace () =
+  let fig = Figures.fig1a ~fenced:true () in
+  let h, times, snap =
+    Tm_workloads.Runner.record_trace_entry
+      ~tm:(Tm_registry.find_exn "tl2")
+      ~policy:Tm_runtime.Fence_policy.Selective ~nregs:Figures.nregs fig
+  in
+  let trace = Trace.of_history ~times ~tm:"tl2" h in
+  (* the export must survive its own parser *)
+  let trace =
+    match Json.of_string (Json.to_string trace) with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "trace does not reparse: %s" msg
+  in
+  let events = arr_exn (Json.member "traceEvents" trace) in
+  check bool "events present" true (events <> []);
+  (* every event is one of the three shapes we emit, with the fields
+     Perfetto needs *)
+  let str k e =
+    match Json.member k e with Some (Json.String s) -> Some s | _ -> None
+  in
+  List.iter
+    (fun e ->
+      match str "ph" e with
+      | Some "M" -> check bool "metadata named" true (str "name" e <> None)
+      | Some "X" ->
+          check bool "duration has ts" true (Json.member "ts" e <> None);
+          check bool "duration has dur" true (Json.member "dur" e <> None)
+      | Some "i" -> check bool "instant has ts" true (Json.member "ts" e <> None)
+      | _ -> Alcotest.fail "unexpected event shape")
+    events;
+  (* one duration event per completed transaction, colored by fate *)
+  check int "one event per transaction"
+    (snap.Obs.s_commits + Obs.aborts_total snap)
+    (Trace.txn_event_count trace);
+  let cat c e = str "cat" e = Some c in
+  check bool "fence events present" true (List.exists (cat "fence") events);
+  check bool "op events present" true (List.exists (cat "op") events);
+  check bool "thread rows labelled" true
+    (List.exists (fun e -> str "ph" e = Some "M") events)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick json_parse_errors;
+          Alcotest.test_case "member" `Quick json_member;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "bucket edges" `Quick bucket_edges;
+          Alcotest.test_case "zero snapshot" `Quick zero_snapshot;
+          Alcotest.test_case "parallel merge" `Quick parallel_merge;
+          Alcotest.test_case "OBS escape hatch" `Quick escape_hatch;
+        ] );
+      ( "abort-causes",
+        [
+          Alcotest.test_case "tl2 timestamp drift" `Quick tl2_timestamp_drift;
+          Alcotest.test_case "tl2 commit validation" `Quick
+            tl2_commit_validation;
+          Alcotest.test_case "norec read validation" `Quick
+            norec_read_validation;
+          Alcotest.test_case "norec commit validation" `Quick
+            norec_commit_validation;
+          Alcotest.test_case "tlrw write-lock busy" `Quick tlrw_write_lock_busy;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "timed recorder" `Quick timed_recorder;
+          Alcotest.test_case "untimed recorder" `Quick untimed_recorder;
+        ] );
+      ("trace", [ Alcotest.test_case "golden shape" `Quick golden_trace ]);
+    ]
