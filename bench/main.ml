@@ -21,6 +21,7 @@ module Kernels = Tm_workloads.Kernels
    per-TM functor applications in this driver. *)
 let tl2_e = Tm_registry.find_exn "tl2"
 let tl2_epoch_e = Tm_registry.find_exn "tl2-epoch"
+let tl2_two_word_e = Tm_registry.find_exn "tl2-two-word"
 let norec_e = Tm_registry.find_exn "norec"
 let tlrw_e = Tm_registry.find_exn "tlrw"
 let lock_e = Tm_registry.find_exn "lock"
@@ -409,6 +410,14 @@ let harness_bench () =
   in
   let speedup = seq_s /. par_s in
   let seeds_identical = seq_stats.Runner.seeds = par_stats.Runner.seeds in
+  (* What the auto runner would actually do with this batch: on a
+     single-core host (or a tiny batch) it takes the sequential path
+     instead of paying for a pool that cannot help, and the JSON
+     records that decision. *)
+  let mode =
+    if Runner.auto_parallel ~domains ~trials:bench_trials () then "parallel"
+    else "sequential-fallback"
+  in
   let counts (s : Runner.trial_stats) =
     (s.Runner.violations, s.Runner.divergences, s.Runner.aborted_runs)
   in
@@ -416,7 +425,8 @@ let harness_bench () =
     "  %d trials of %s: sequential %.3fs, parallel (%d domains) %.3fs, \
      speedup %.2fx\n%!"
     bench_trials fig.Figures.f_name seq_s domains par_s speedup;
-  Printf.printf "  per-trial seeds identical: %b\n%!" seeds_identical;
+  Printf.printf "  per-trial seeds identical: %b   auto-runner mode: %s\n%!"
+    seeds_identical mode;
   if !json_mode then begin
     let stats_json s =
       let v, d, a = counts s in
@@ -440,6 +450,7 @@ let harness_bench () =
            ("sequential_s", J.Float seq_s);
            ("parallel_s", J.Float par_s);
            ("speedup", J.Float speedup);
+           ("mode", J.String mode);
            ("seeds_identical", J.Bool seeds_identical);
            ("sequential", stats_json seq_stats);
            ("parallel", stats_json par_stats);
@@ -692,6 +703,256 @@ let obs_bench () =
                ] );
          ])
 
+(* ------------------- TL2 hot-path benchmark ------------------------- *)
+
+(* Throughput of the overhauled TL2 (packed lock words, read-only
+   commit fast path, reusable descriptors, striped metadata) against
+   the frozen Figure 9 implementation ("tl2-two-word"), on three mixes:
+
+   - read-only: 8-read transactions over 256 registers — all commits
+     take the no-lock, no-FAA fast path;
+   - write-heavy: 8-register read-modify-writes over 1024 registers —
+     lock acquisition, clock FAA and write-back on every commit;
+   - contended: single-register increments from every thread — the
+     abort-heavy regime of BENCH_obs.json's counter/contended kernel.
+
+   A fence is issued every [tl2_fence_every] ops so both fence
+   implementations (tl2 = flag-scan, tl2-epoch = epoch) stay on the
+   measured path.  Read-only must beat write-heavy for the tl2 family
+   at every domain count; `tmcheck bench-validate` and the bench-smoke
+   CI job fail on an inversion. *)
+
+let tl2_ops =
+  try int_of_string (Sys.getenv "TL2_OPS") with Not_found -> 8_000
+
+let tl2_fence_every = 64
+
+type tl2_row = {
+  tr_tm : string;
+  tr_mix : string;
+  tr_threads : int;
+  tr_ops : int;
+  tr_seconds : float;
+  tr_throughput : float;
+  tr_retries : int;
+  tr_fences : int;
+}
+
+let run_tl2_mix (e : Tm_registry.entry) ~mix_name ~mix ~threads ~seed =
+  let module M = (val e.Tm_registry.tm) in
+  let module AB = Atomic_block.Make (M.T) in
+  let nregs, op =
+    match mix with
+    | `Read_only ->
+        ( 256,
+          fun tm ~thread ~rng ->
+            let base = Random.State.int rng 256 in
+            let (_ : int), retries =
+              AB.run tm ~thread (fun txn ->
+                  let total = ref 0 in
+                  for k = 0 to 7 do
+                    total :=
+                      !total + M.T.read tm txn ((base + (31 * k)) mod 256)
+                  done;
+                  !total)
+            in
+            retries )
+    | `Write_heavy ->
+        ( 1_024,
+          fun tm ~thread ~rng ->
+            let base = Random.State.int rng 1_024 in
+            let (), retries =
+              AB.run tm ~thread (fun txn ->
+                  for k = 0 to 7 do
+                    let x = (base + (131 * k)) mod 1_024 in
+                    let v = M.T.read tm txn x in
+                    M.T.write tm txn x (v + 1)
+                  done)
+            in
+            retries )
+    | `Contended ->
+        ( 1,
+          fun tm ~thread ~rng:_ ->
+            let (), retries =
+              AB.run tm ~thread (fun txn ->
+                  let v = M.T.read tm txn 0 in
+                  M.T.write tm txn 0 (v + 1))
+            in
+            retries )
+  in
+  let tm = M.make ~nregs ~nthreads:threads () in
+  let retries = Atomic.make 0 in
+  let fences = Atomic.make 0 in
+  (* two-phase start so domain spawn cost stays outside the timed
+     window (as in recorder_bench): workers check in, the main thread
+     stamps t0 and fires the go flag — at small TL2_OPS the spawns
+     would otherwise dominate the window *)
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let worker thread =
+    let rng = Random.State.make [| seed; thread |] in
+    Atomic.incr ready;
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    for i = 0 to tl2_ops - 1 do
+      let r = op tm ~thread ~rng in
+      if r > 0 then ignore (Atomic.fetch_and_add retries r);
+      if i mod tl2_fence_every = tl2_fence_every - 1 then begin
+        M.T.fence tm ~thread;
+        Atomic.incr fences
+      end
+    done
+  in
+  let domains =
+    Array.init threads (fun t -> Domain.spawn (fun () -> worker t))
+  in
+  while Atomic.get ready < threads do
+    Domain.cpu_relax ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  Atomic.set go true;
+  Array.iter Domain.join domains;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let ops = threads * tl2_ops in
+  {
+    tr_tm = e.Tm_registry.name;
+    tr_mix = mix_name;
+    tr_threads = threads;
+    tr_ops = ops;
+    tr_seconds = seconds;
+    tr_throughput = float_of_int ops /. seconds;
+    tr_retries = Atomic.get retries;
+    tr_fences = Atomic.get fences;
+  }
+
+let tl2_bench () =
+  section "TL2 hot-path throughput: packed-word tl2 vs Figure 9 two-word";
+  let tms = [ tl2_e; tl2_epoch_e; tl2_two_word_e ] in
+  let mixes =
+    [
+      ("read-only", `Read_only); ("write-heavy", `Write_heavy);
+      ("contended", `Contended);
+    ]
+  in
+  let thread_counts = [ 1; 2; 4 ] in
+  (* start from a compacted heap (the bechamel phase of `micro` leaves
+     a large one behind), and interleave the competing TMs within each
+     round rather than running each TM's samples back to back: a slow
+     scheduling phase of the time-sliced host then hits every TM
+     instead of landing entirely inside one, and the per-configuration
+     median over rounds compares like with like *)
+  Gc.compact ();
+  (* span timers off for the measurement: both implementations pay the
+     same two clock calls per read when they are on, a shared constant
+     that dilutes the algorithmic difference this benchmark isolates
+     (obs_bench measures the timer cost itself, separately) *)
+  let timers_were = Tm_obs.Obs.timers_enabled () in
+  Tm_obs.Obs.set_timers_enabled false;
+  let rounds = 5 in
+  let median samples =
+    match
+      List.sort (fun a b -> compare a.tr_throughput b.tr_throughput) samples
+    with
+    | [] -> assert false
+    | l -> List.nth l (List.length l / 2)
+  in
+  let rows =
+    List.concat_map
+      (fun (mix_name, mix) ->
+        List.concat_map
+          (fun threads ->
+            let samples =
+              List.init rounds (fun _ ->
+                  List.map
+                    (fun e -> run_tl2_mix e ~mix_name ~mix ~threads ~seed:17)
+                    tms)
+            in
+            List.mapi
+              (fun i _ -> median (List.map (fun round -> List.nth round i) samples))
+              tms)
+          thread_counts)
+      mixes
+  in
+  Tm_obs.Obs.set_timers_enabled timers_were;
+  Printf.printf "  %-14s %-12s %8s %12s %9s %8s\n%!" "tm" "mix" "threads"
+    "ops/s" "retries" "fences";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-14s %-12s %8d %12.0f %9d %8d\n%!" r.tr_tm r.tr_mix
+        r.tr_threads r.tr_throughput r.tr_retries r.tr_fences)
+    rows;
+  let throughput tm mix threads =
+    match
+      List.find_opt
+        (fun r -> r.tr_tm = tm && r.tr_mix = mix && r.tr_threads = threads)
+        rows
+    with
+    | Some r -> r.tr_throughput
+    | None -> nan
+  in
+  let speedup mix threads =
+    throughput "tl2" mix threads /. throughput "tl2-two-word" mix threads
+  in
+  let ro_speedup = speedup "read-only" 1 in
+  let wh_speedup = speedup "write-heavy" 1 in
+  let contended_speedup_4 = speedup "contended" 4 in
+  let contended_4 = throughput "tl2" "contended" 4 in
+  (* the inversion guard the CI job enforces via bench-validate *)
+  let inversion_ok =
+    List.for_all
+      (fun (e : Tm_registry.entry) ->
+        List.for_all
+          (fun threads ->
+            throughput e.Tm_registry.name "read-only" threads
+            >= throughput e.Tm_registry.name "write-heavy" threads)
+          thread_counts)
+      tms
+  in
+  Printf.printf
+    "  tl2 vs tl2-two-word, 1 domain: read-only %.2fx, write-heavy %.2fx\n%!"
+    ro_speedup wh_speedup;
+  Printf.printf
+    "  tl2 vs tl2-two-word, contended, 4 domains: %.2fx (%.0f ops/s)\n%!"
+    contended_speedup_4 contended_4;
+  Printf.printf "  read-only >= write-heavy everywhere: %b\n%!" inversion_ok;
+  if !json_mode then
+    write_json "BENCH_tl2.json"
+      (J.Obj
+         [
+           ("schema", J.String "bench/tl2/v1");
+           ("generated_by", J.String "bench/main.exe tl2 --json");
+           ("cores", J.Int (Domain.recommended_domain_count ()));
+           ("ops_per_thread", J.Int tl2_ops);
+           ("fence_every", J.Int tl2_fence_every);
+           ("span_timers", J.Bool false);
+           ( "results",
+             J.Arr
+               (List.map
+                  (fun r ->
+                    J.Obj
+                      [
+                        ("tm", J.String r.tr_tm);
+                        ("mix", J.String r.tr_mix);
+                        ("threads", J.Int r.tr_threads);
+                        ("ops", J.Int r.tr_ops);
+                        ("seconds", J.Float r.tr_seconds);
+                        ("ops_per_s", J.Float r.tr_throughput);
+                        ("retries", J.Int r.tr_retries);
+                        ("fences", J.Int r.tr_fences);
+                      ])
+                  rows) );
+           ( "summary",
+             J.Obj
+               [
+                 ("read_only_speedup_1dom", J.Float ro_speedup);
+                 ("write_heavy_speedup_1dom", J.Float wh_speedup);
+                 ("contended_speedup_4dom", J.Float contended_speedup_4);
+                 ("contended_4dom_ops_per_s", J.Float contended_4);
+                 ("read_only_beats_write_heavy", J.Bool inversion_ok);
+               ] );
+         ])
+
 (* ---------------------- bechamel micro suite ------------------------ *)
 
 let micro () =
@@ -865,7 +1126,8 @@ let micro () =
                   estimates) );
          ]);
   harness_bench ();
-  obs_bench ()
+  obs_bench ();
+  tl2_bench ()
 
 (* ------------------------------ main ------------------------------- *)
 
@@ -873,7 +1135,8 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("recorder", recorder_bench); ("obs", obs_bench); ("micro", micro);
+    ("recorder", recorder_bench); ("obs", obs_bench); ("tl2", tl2_bench);
+    ("micro", micro);
   ]
 
 let () =

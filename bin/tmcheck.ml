@@ -7,7 +7,8 @@
      tmcheck tms                     list registered TM implementations
      tmcheck run NAME [options]      runtime trials of a figure on a TM
      tmcheck stats [--tm NAME]       kernel workload + telemetry snapshot
-     tmcheck trace [FIGURE] [--out]  Chrome trace_event timeline export *)
+     tmcheck trace [FIGURE] [--out]  Chrome trace_event timeline export
+     tmcheck bench-validate FILE     validate BENCH_tl2.json + inversion guard *)
 
 open Cmdliner
 open Tm_lang
@@ -589,6 +590,109 @@ let stats_cmd =
       const run $ tm_arg $ kernel_arg $ threads_arg $ ops_arg $ policy_arg
       $ seed_arg $ json_flag $ out_arg)
 
+(* ------------------------- bench validation ------------------------ *)
+
+let bench_validate_cmd =
+  let doc =
+    "Validate a BENCH_tl2.json document (schema bench/tl2/v1): parse it, \
+     check the required fields, and enforce the regression guard that \
+     read-only throughput is at least write-heavy throughput for every \
+     TL2 variant and domain count — an inversion means the read-only \
+     commit fast path has stopped paying for itself."
+  in
+  let bench_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"BENCH_tl2.json file to validate")
+  in
+  let run path =
+    let module J = Tm_obs.Json in
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 1)
+        fmt
+    in
+    let contents =
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    let j =
+      match J.of_string contents with
+      | Ok j -> j
+      | Error msg -> fail "parse error: %s" msg
+    in
+    (match J.member "schema" j with
+    | Some (J.String "bench/tl2/v1") -> ()
+    | Some (J.String s) -> fail "schema %S (expected bench/tl2/v1)" s
+    | _ -> fail "missing \"schema\"");
+    (match J.member "summary" j with
+    | Some (J.Obj _) -> ()
+    | _ -> fail "missing \"summary\" object");
+    let rows =
+      match J.member "results" j with
+      | Some (J.Arr (_ :: _ as rows)) -> rows
+      | Some (J.Arr []) -> fail "empty \"results\""
+      | _ -> fail "missing \"results\" array"
+    in
+    let parsed =
+      List.map
+        (fun row ->
+          let str k =
+            match J.member k row with
+            | Some (J.String s) -> s
+            | _ -> fail "result row missing string field %S" k
+          in
+          let threads =
+            match J.member "threads" row with
+            | Some (J.Int i) -> i
+            | _ -> fail "result row missing int field \"threads\""
+          in
+          let thr =
+            match J.member "ops_per_s" row with
+            | Some (J.Float f) -> f
+            | Some (J.Int i) -> float_of_int i
+            | _ -> fail "result row missing number field \"ops_per_s\""
+          in
+          (str "tm", str "mix", threads, thr))
+        rows
+    in
+    let find tm mix threads =
+      List.find_opt
+        (fun (t, m, th, _) -> t = tm && m = mix && th = threads)
+        parsed
+    in
+    let uniq f = List.sort_uniq compare (List.map f parsed) in
+    let tms = uniq (fun (t, _, _, _) -> t) in
+    let thread_counts = uniq (fun (_, _, th, _) -> th) in
+    List.iter
+      (fun tm ->
+        List.iter
+          (fun th ->
+            match (find tm "read-only" th, find tm "write-heavy" th) with
+            | Some (_, _, _, ro), Some (_, _, _, wh) ->
+                if ro < wh then
+                  fail
+                    "read-only throughput (%.0f ops/s) below write-heavy \
+                     (%.0f ops/s) for %s at %d thread(s): the read-only \
+                     commit fast path has regressed"
+                    ro wh tm th
+            | _ ->
+                fail "missing read-only/write-heavy rows for %s at %d \
+                      thread(s)" tm th)
+          thread_counts)
+      tms;
+    Printf.printf
+      "%s: valid (%d rows, %d TMs, read-only >= write-heavy at every domain \
+       count)\n"
+      path (List.length parsed) (List.length tms)
+  in
+  Cmd.v (Cmd.info "bench-validate" ~doc) Term.(const run $ bench_file_arg)
+
 let trace_cmd =
   let doc =
     "Record one timed execution of a figure program on a TM and export it \
@@ -640,4 +744,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ figures_cmd; drf_cmd; opacity_cmd; tms_cmd; run_cmd; sched_cmd;
-            hist_cmd; record_cmd; stats_cmd; trace_cmd ]))
+            hist_cmd; record_cmd; stats_cmd; trace_cmd; bench_validate_cmd ]))

@@ -5,16 +5,32 @@ module Obs = Tm_obs.Obs
 type variant = Normal | No_read_validation | No_commit_validation
 type fence_impl = Flag_scan | Epoch
 
+(* Packed versioned write-lock: one atomic word per register instead of
+   Figure 9's separate [ver]/[lock] pair.  Low bit = locked, high bits
+   = version.  A consistent read needs the word sampled equal (and
+   unlocked) around the value load — three atomic loads where the
+   two-word scheme needs four — and commit-time release publishes the
+   new version and drops the lock in a single store.  No owner field:
+   commit validation decides "locked by me" by write-set membership,
+   and only the holder ever unlocks.  The paper-shaped two-word scheme
+   survives as {!Legacy} (registry entry ["tl2-two-word"]). *)
+module Vlock = struct
+  let pack ~ver ~locked = (ver lsl 1) lor (if locked then 1 else 0)
+  let version w = w lsr 1
+  let locked w = w land 1 <> 0
+  let lock w = w lor 1
+  let unlock w = w land lnot 1
+end
+
 module Make (S : Sched_intf.S) = struct
   let name = "tl2"
 
   type t = {
     clock : int Atomic.t;
-    reg : int Atomic.t array;
-    ver : int Atomic.t array;
-    lock : int Atomic.t array;  (** -1 free, otherwise owner thread *)
-    active : bool Atomic.t array;  (** per thread, for the flag-scan fence *)
-    epoch : int Atomic.t array;
+    reg : Padded.t;  (** register values, cache-line striped *)
+    vlock : Padded.t;  (** packed version+lock word per register *)
+    active : Padded.t;  (** 0/1 per thread, for the flag-scan fence *)
+    epoch : Padded.t;
         (** per thread, for the epoch fence: odd while a transaction is
             running, even when quiescent (RCU-style grace periods) *)
     fence_impl : fence_impl;
@@ -25,33 +41,42 @@ module Make (S : Sched_intf.S) = struct
     delay_threads : int list option;  (** [None] = all threads *)
     commits : int Atomic.t;
     aborts : int Atomic.t;
+    log_timestamps : bool;
     timestamp_log : (int * int * int * int) list Atomic.t;
         (** (thread, per-thread txn seq, rver, wver) per completed txn,
             newest first; lock-free CAS push so the log never serializes
-            committing threads (wver = max_int when none generated) *)
+            committing threads.  Only populated when a recorder is
+            attached or [~log_timestamps:true] was passed — an unbounded
+            log must not leak a list cell per transaction on plain
+            production runs. *)
     txn_seq : int array;  (** per-thread count of begun transactions *)
+    descs : txn array;  (** reusable per-thread descriptors *)
     obs : Obs.t;  (** abort causes and span timings, per-thread sharded *)
   }
 
-  type txn = {
+  (* One descriptor per thread, cleared (O(1)) at [txn_begin] rather
+     than allocated: each thread runs at most one transaction at a
+     time (the per-thread [active] flag already encodes this), so the
+     TL2 fast path allocates nothing per transaction. *)
+  and txn = {
     thread : int;
-    seq : int;  (** which transaction of its thread this is (0-based) *)
+    mutable seq : int;
+        (** which transaction of its thread this is (0-based) *)
     mutable rver : int;
     mutable wver : int;
-    rset : (int, unit) Hashtbl.t;
-    wset : (int, int) Hashtbl.t;
+    rset : Txnset.t;
+    wset : Txnset.t;
   }
 
   let create_with ?recorder ?(variant = Normal) ?(fence_impl = Flag_scan)
-      ?(commit_delay = 0) ?(writeback_delay = 0) ?delay_threads ~nregs
-      ~nthreads () =
+      ?(commit_delay = 0) ?(writeback_delay = 0) ?delay_threads
+      ?log_timestamps ~nregs ~nthreads () =
     {
       clock = Atomic.make 0;
-      reg = Array.init nregs (fun _ -> Atomic.make Types.v_init);
-      ver = Array.init nregs (fun _ -> Atomic.make 0);
-      lock = Array.init nregs (fun _ -> Atomic.make (-1));
-      active = Array.init nthreads (fun _ -> Atomic.make false);
-      epoch = Array.init nthreads (fun _ -> Atomic.make 0);
+      reg = Padded.make nregs Types.v_init;
+      vlock = Padded.make nregs (Vlock.pack ~ver:0 ~locked:false);
+      active = Padded.make nthreads 0;
+      epoch = Padded.make nthreads 0;
       fence_impl;
       recorder;
       variant;
@@ -60,8 +85,22 @@ module Make (S : Sched_intf.S) = struct
       delay_threads;
       commits = Atomic.make 0;
       aborts = Atomic.make 0;
+      log_timestamps =
+        (match log_timestamps with
+        | Some b -> b
+        | None -> Option.is_some recorder);
       timestamp_log = Atomic.make [];
       txn_seq = Array.make nthreads 0;
+      descs =
+        Array.init nthreads (fun thread ->
+            {
+              thread;
+              seq = 0;
+              rver = 0;
+              wver = max_int;
+              rset = Txnset.create ();
+              wset = Txnset.create ();
+            });
       obs = Obs.create ();
     }
 
@@ -73,13 +112,15 @@ module Make (S : Sched_intf.S) = struct
   let timestamp_log t = List.rev (Atomic.get t.timestamp_log)
 
   let record_timestamps t txn =
-    let entry = (txn.thread, txn.seq, txn.rver, txn.wver) in
-    let rec push () =
-      let old = Atomic.get t.timestamp_log in
-      if not (Atomic.compare_and_set t.timestamp_log old (entry :: old)) then
-        push ()
-    in
-    push ()
+    if t.log_timestamps then begin
+      let entry = (txn.thread, txn.seq, txn.rver, txn.wver) in
+      let rec push () =
+        let old = Atomic.get t.timestamp_log in
+        if not (Atomic.compare_and_set t.timestamp_log old (entry :: old))
+        then push ()
+      in
+      push ()
+    end
 
   let stats_commits t = Atomic.get t.commits
   let stats_aborts t = Atomic.get t.aborts
@@ -90,16 +131,23 @@ module Make (S : Sched_intf.S) = struct
     | Some r -> Recorder.log r ~thread kind
     | None -> ()
 
+  (* Hot-path call sites test this before building the [Action] value:
+     with no recorder attached the allocation (several words per
+     read/write) would be the only heap traffic of a transaction. *)
+  let[@inline] recording t =
+    match t.recorder with Some _ -> true | None -> false
+
   (* The abort handler of Figure 9 (lines 57-59): answer the pending
      request with [aborted], then clear the active flag.  The ordering
      matters for recorded histories: a fence waiting on [active] must
      observe the completion action already logged (condition 10). *)
   let abort_handler t txn cause =
-    log t ~thread:txn.thread (Action.Response Action.Aborted);
+    if recording t then
+      log t ~thread:txn.thread (Action.Response Action.Aborted);
     record_timestamps t txn;
     S.yield ();
-    Atomic.set t.active.(txn.thread) false;
-    Atomic.incr t.epoch.(txn.thread);
+    Padded.set t.active txn.thread 0;
+    Padded.incr t.epoch txn.thread;
     Atomic.incr t.aborts;
     Obs.incr_abort t.obs ~thread:txn.thread cause;
     raise Tm_intf.Abort
@@ -110,149 +158,204 @@ module Make (S : Sched_intf.S) = struct
        scheduling point between: a fence whose [Fbegin] follows our
        [Txbegin] in the history must observe the transaction as active
        (condition 10, the converse of the completion ordering below). *)
-    Atomic.set t.active.(thread) true;
-    Atomic.incr t.epoch.(thread);
-    log t ~thread (Action.Request Action.Txbegin);
-    let seq = t.txn_seq.(thread) in
-    t.txn_seq.(thread) <- seq + 1;
+    Padded.set t.active thread 1;
+    Padded.incr t.epoch thread;
+    if recording t then log t ~thread (Action.Request Action.Txbegin);
+    let txn = t.descs.(thread) in
+    txn.seq <- t.txn_seq.(thread);
+    t.txn_seq.(thread) <- txn.seq + 1;
+    txn.wver <- max_int;
+    Txnset.clear txn.rset;
+    Txnset.clear txn.wset;
     S.yield ();
-    let txn =
-      { thread; seq; rver = Atomic.get t.clock; wver = max_int;
-        rset = Hashtbl.create 8; wset = Hashtbl.create 8 }
-    in
-    log t ~thread (Action.Response Action.Okay);
+    txn.rver <- Atomic.get t.clock;
+    if recording t then log t ~thread (Action.Response Action.Okay);
     txn
 
   let read t txn x =
-    log t ~thread:txn.thread (Action.Request (Action.Read x));
-    match Hashtbl.find_opt txn.wset x with
-    | Some v ->
+    if recording t then
+      log t ~thread:txn.thread (Action.Request (Action.Read x));
+    let wi = Txnset.index txn.wset x in
+    if wi >= 0 then begin
+      let v = Txnset.value txn.wset wi in
+      if recording t then
         log t ~thread:txn.thread (Action.Response (Action.Ret v));
-        v
-    | None ->
-        let t0 = Obs.start () in
-        S.yield ();
-        let ts1 = Atomic.get t.ver.(x) in
-        S.yield ();
-        let value = Atomic.get t.reg.(x) in
-        S.yield ();
-        let locked = Atomic.get t.lock.(x) <> -1 in
-        S.yield ();
-        let ts2 = Atomic.get t.ver.(x) in
-        Obs.stop t.obs ~thread:txn.thread Obs.Span.Read_validation t0;
-        if
-          t.variant <> No_read_validation
-          && (locked || ts1 <> ts2 || txn.rver < ts2)
-        then
-          (* a torn read ([locked] or a version change under our feet) is
-             a read-validation conflict; a consistent snapshot that is
-             simply newer than our begin timestamp is clock drift *)
-          abort_handler t txn
-            (if locked || ts1 <> ts2 then Obs.Read_validation
-             else Obs.Timestamp_drift)
-        else begin
-          Hashtbl.replace txn.rset x ();
+      v
+    end
+    else begin
+      let t0 = Obs.start () in
+      S.yield ();
+      let w1 = Padded.get t.vlock x in
+      S.yield ();
+      let value = Padded.get t.reg x in
+      S.yield ();
+      let w2 = Padded.get t.vlock x in
+      Obs.stop t.obs ~thread:txn.thread Obs.Span.Read_validation t0;
+      let torn = Vlock.locked w1 || Vlock.locked w2 || w1 <> w2 in
+      if
+        t.variant <> No_read_validation
+        && (torn || txn.rver < Vlock.version w2)
+      then
+        (* a torn read (locked or a version change under our feet) is a
+           read-validation conflict; a consistent snapshot that is
+           simply newer than our begin timestamp is clock drift *)
+        abort_handler t txn
+          (if torn then Obs.Read_validation else Obs.Timestamp_drift)
+      else begin
+        Txnset.add txn.rset x;
+        if recording t then
           log t ~thread:txn.thread (Action.Response (Action.Ret value));
-          value
-        end
+        value
+      end
+    end
 
   let write t txn x v =
-    log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
-    Hashtbl.replace txn.wset x v;
-    log t ~thread:txn.thread (Action.Response Action.Ret_unit)
+    if recording t then
+      log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
+    Txnset.set txn.wset x v;
+    if recording t then
+      log t ~thread:txn.thread (Action.Response Action.Ret_unit)
+
+  (* Commit-time read-set validation (Figure 9, lines 20-26).  With the
+     packed word a single load answers both checks: locked-by-other is
+     the lock bit on a register outside our write-set (we hold exactly
+     the write-set locks; a locked write-set member still carries its
+     pre-lock version in the high bits), and the version check compares
+     against those high bits. *)
+  let validate_rset t txn ~writer =
+    let n = Txnset.length txn.rset in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let x = Txnset.key txn.rset !i in
+      S.yield ();
+      let w = Padded.get t.vlock x in
+      let locked_by_other =
+        Vlock.locked w && not (writer && Txnset.mem txn.wset x)
+      in
+      ok := (not locked_by_other) && txn.rver >= Vlock.version w;
+      incr i
+    done;
+    !ok
+
+  let finish_commit t txn =
+    if recording t then
+      log t ~thread:txn.thread (Action.Response Action.Committed);
+    record_timestamps t txn;
+    S.yield ();
+    Padded.set t.active txn.thread 0;
+    Padded.incr t.epoch txn.thread;
+    Atomic.incr t.commits;
+    Obs.incr_commit t.obs ~thread:txn.thread
 
   let commit t txn =
-    log t ~thread:txn.thread (Action.Request Action.Txcommit);
-    let locked = ref [] in
-    let unlock_all () =
-      List.iter
-        (fun x ->
-          S.yield ();
-          Atomic.set t.lock.(x) (-1))
-        !locked
-    in
-    let wset_regs =
-      Hashtbl.fold (fun x _ acc -> x :: acc) txn.wset [] |> List.sort compare
-    in
-    (* Phase 1: acquire write locks (lines 11-18). *)
-    let t0 = Obs.start () in
-    let acquired_all =
-      List.for_all
-        (fun x ->
-          S.yield ();
-          if Atomic.compare_and_set t.lock.(x) (-1) txn.thread then begin
-            locked := x :: !locked;
-            true
-          end
-          else false)
-        wset_regs
-    in
-    Obs.stop t.obs ~thread:txn.thread Obs.Span.Write_lock t0;
-    if not acquired_all then begin
-      unlock_all ();
-      abort_handler t txn Obs.Write_lock_busy
-    end;
-    (* Phase 2: write timestamp (line 19). *)
-    S.yield ();
-    let wver = Atomic.fetch_and_add t.clock 1 + 1 in
-    txn.wver <- wver;
-    (* Phase 3: read-set validation (lines 20-26). *)
-    let t0 = Obs.start () in
-    let valid =
-      t.variant = No_commit_validation
-      || Hashtbl.fold
-           (fun x () ok ->
-             ok
-             &&
-             (S.yield ();
-              let l = Atomic.get t.lock.(x) in
-              let locked_by_other = l <> -1 && l <> txn.thread in
-              S.yield ();
-              let ts = Atomic.get t.ver.(x) in
-              (not locked_by_other) && txn.rver >= ts))
-           txn.rset true
-    in
-    Obs.stop t.obs ~thread:txn.thread Obs.Span.Commit_validation t0;
-    if not valid then begin
-      unlock_all ();
-      abort_handler t txn Obs.Commit_validation
-    end;
-    (* Optional widening of the validation/write-back window, used to
-       exhibit the delayed-commit anomaly reliably (E1). *)
+    if recording t then
+      log t ~thread:txn.thread (Action.Request Action.Txcommit);
     let delayed =
       match t.delay_threads with
       | None -> true
       | Some threads -> List.mem txn.thread threads
     in
-    if delayed then
-      for _ = 1 to t.commit_delay do
-        Domain.cpu_relax ()
-      done;
-    (* Phase 4: write-back and release (lines 27-30), in ascending
-       register order for determinism. *)
-    List.iter
-      (fun x ->
-        let v = Hashtbl.find txn.wset x in
+    let nw = Txnset.length txn.wset in
+    if nw = 0 then begin
+      (* Read-only fast path (original TL2): nothing to lock, nothing
+         to write back, and — decisively — no global-clock
+         [fetch_and_add]: a read-only commit that bumps the clock only
+         manufactures [Timestamp_drift] aborts in every concurrent
+         reader.  Validation against the unchanged [rver] suffices;
+         the transaction serializes at its snapshot, so the snapshot
+         version doubles as its effective write timestamp in the
+         {!timestamp_log} (INV.5's visibility ordering needs one). *)
+      let t0 = Obs.start () in
+      let valid = t.variant = No_commit_validation
+                  || validate_rset t txn ~writer:false in
+      Obs.stop t.obs ~thread:txn.thread Obs.Span.Commit_validation t0;
+      if not valid then abort_handler t txn Obs.Commit_validation;
+      txn.wver <- txn.rver;
+      (* keep the E1 window applicable to read-only committers too *)
+      if delayed then
+        for _ = 1 to t.commit_delay do
+          Domain.cpu_relax ()
+        done;
+      finish_commit t txn
+    end
+    else begin
+      (* Phase 1: acquire write locks in ascending register order
+         (lines 11-18); the write-set is insertion-ordered and sorted
+         once in place.  On failure exactly the acquired prefix is
+         released (version bits are preserved by lock/unlock). *)
+      Txnset.sort txn.wset;
+      let acquired = ref 0 in
+      let unlock_acquired () =
+        for i = !acquired - 1 downto 0 do
+          let x = Txnset.key txn.wset i in
+          S.yield ();
+          let w = Padded.get t.vlock x in
+          S.yield ();
+          Padded.set t.vlock x (Vlock.unlock w)
+        done
+      in
+      let t0 = Obs.start () in
+      let rec acquire i =
+        i >= nw
+        ||
+        let x = Txnset.key txn.wset i in
         S.yield ();
-        Atomic.set t.reg.(x) v;
+        let w = Padded.get t.vlock x in
+        if Vlock.locked w then false
+        else begin
+          S.yield ();
+          if Padded.cas t.vlock x w (Vlock.lock w) then begin
+            incr acquired;
+            acquire (i + 1)
+          end
+          else false
+        end
+      in
+      let acquired_all = acquire 0 in
+      Obs.stop t.obs ~thread:txn.thread Obs.Span.Write_lock t0;
+      if not acquired_all then begin
+        unlock_acquired ();
+        abort_handler t txn Obs.Write_lock_busy
+      end;
+      (* Phase 2: write timestamp (line 19). *)
+      S.yield ();
+      let wver = Atomic.fetch_and_add t.clock 1 + 1 in
+      txn.wver <- wver;
+      (* Phase 3: read-set validation (lines 20-26). *)
+      let t0 = Obs.start () in
+      let valid = t.variant = No_commit_validation
+                  || validate_rset t txn ~writer:true in
+      Obs.stop t.obs ~thread:txn.thread Obs.Span.Commit_validation t0;
+      if not valid then begin
+        unlock_acquired ();
+        abort_handler t txn Obs.Commit_validation
+      end;
+      (* Optional widening of the validation/write-back window, used to
+         exhibit the delayed-commit anomaly reliably (E1). *)
+      if delayed then
+        for _ = 1 to t.commit_delay do
+          Domain.cpu_relax ()
+        done;
+      (* Phase 4: write-back and release (lines 27-30) in ascending
+         register order; publishing the new version and releasing the
+         lock is one store of the repacked word. *)
+      for i = 0 to nw - 1 do
+        let x = Txnset.key txn.wset i in
+        let v = Txnset.value txn.wset i in
         S.yield ();
-        Atomic.set t.ver.(x) wver;
+        Padded.set t.reg x v;
         S.yield ();
-        Atomic.set t.lock.(x) (-1);
-        (* optional widening of the window between individual write-backs
-           (exhibits Figure 3's intermediate states, E4) *)
+        Padded.set t.vlock x (Vlock.pack ~ver:wver ~locked:false);
+        (* optional widening of the window between individual
+           write-backs (exhibits Figure 3's intermediate states, E4) *)
         if delayed then
           for _ = 1 to t.writeback_delay do
             Domain.cpu_relax ()
-          done)
-      wset_regs;
-    log t ~thread:txn.thread (Action.Response Action.Committed);
-    record_timestamps t txn;
-    S.yield ();
-    Atomic.set t.active.(txn.thread) false;
-    Atomic.incr t.epoch.(txn.thread);
-    Atomic.incr t.commits;
-    Obs.incr_commit t.obs ~thread:txn.thread
+          done
+      done;
+      finish_commit t txn
+    end
 
   let abort t txn =
     (* Explicit abandonment: represent it as a commit attempt answered by
@@ -266,13 +369,13 @@ module Make (S : Sched_intf.S) = struct
   let read_nt t ~thread x =
     S.yield ();
     match t.recorder with
-    | None -> Atomic.get t.reg.(x)
+    | None -> Padded.get t.reg x
     | Some r ->
         (* The memory access happens inside the recorder's critical
            section so the access is adjacent in the history and ordered
            after the write it reads from. *)
         Recorder.critical r ~thread (fun push ->
-            let v = Atomic.get t.reg.(x) in
+            let v = Padded.get t.reg x in
             push (Action.Request (Action.Read x));
             push (Action.Response (Action.Ret v));
             v)
@@ -280,27 +383,27 @@ module Make (S : Sched_intf.S) = struct
   let write_nt t ~thread x v =
     S.yield ();
     match t.recorder with
-    | None -> Atomic.set t.reg.(x) v
+    | None -> Padded.set t.reg x v
     | Some r ->
         (* The stamp block is reserved before the store: a reader that
            observes [v] is stamped after this write. *)
         Recorder.critical_pre r ~thread ~slots:2 (fun push ->
-            Atomic.set t.reg.(x) v;
+            Padded.set t.reg x v;
             push (Action.Request (Action.Write (x, v)));
             push (Action.Response Action.Ret_unit))
 
   (* The paper's two-pass flag scan (Figure 7, lines 33-39). *)
   let fence_flag_scan t =
-    let nthreads = Array.length t.active in
+    let nthreads = Padded.length t.active in
     let r = Array.make nthreads false in
     for u = 0 to nthreads - 1 do
       S.yield ();
-      r.(u) <- Atomic.get t.active.(u)
+      r.(u) <- Padded.get t.active u <> 0
     done;
     for u = 0 to nthreads - 1 do
       if r.(u) then begin
         S.yield ();
-        while Atomic.get t.active.(u) do
+        while Padded.get t.active u <> 0 do
           S.spin ()
         done
       end
@@ -311,16 +414,16 @@ module Make (S : Sched_intf.S) = struct
      Unlike the flag scan, this never waits for a transaction that began
      after the fence did, even if the flag is set again quickly. *)
   let fence_epoch t =
-    let nthreads = Array.length t.epoch in
+    let nthreads = Padded.length t.epoch in
     let snapshot = Array.make nthreads 0 in
     for u = 0 to nthreads - 1 do
       S.yield ();
-      snapshot.(u) <- Atomic.get t.epoch.(u)
+      snapshot.(u) <- Padded.get t.epoch u
     done;
     for u = 0 to nthreads - 1 do
       if snapshot.(u) land 1 = 1 then begin
         S.yield ();
-        while Atomic.get t.epoch.(u) = snapshot.(u) do
+        while Padded.get t.epoch u = snapshot.(u) do
           S.spin ()
         done
       end
@@ -337,3 +440,5 @@ module Make (S : Sched_intf.S) = struct
 end
 
 include Make (Sched_intf.Os)
+
+module Legacy = Tl2_legacy

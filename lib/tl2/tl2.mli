@@ -1,13 +1,23 @@
 (** TL2 [Dice, Shalev, Shavit, DISC'06] with RCU-style transactional
     fences, following the paper's pseudocode (Figure 7 / Figure 9).
 
-    Per register: a value, a version number and a write-lock.  A global
-    clock generates version numbers; transactions read-validate against
-    their begin-time snapshot [rver] and commit with two-phase locking
-    over their write-set, re-validating their read-set before
-    write-back.  A per-thread [active] flag supports the fence: the
+    Per register: a value and a packed versioned write-lock ({!Vlock}:
+    low bit = locked, high bits = version).  A global clock generates
+    version numbers; transactions read-validate against their
+    begin-time snapshot [rver] and commit with two-phase locking over
+    their write-set, re-validating their read-set before write-back —
+    except that, as in original TL2, a read-only transaction commits
+    after validation alone, acquiring no locks and never touching the
+    global clock.  A per-thread [active] flag supports the fence: the
     fence snapshots all active flags, then waits until every thread
     whose flag was set clears it (lines 33-39 of Figure 7).
+
+    The hot paths deviate from the Figure 9 pseudocode for performance
+    (packed lock word, read-only fast path, reusable per-thread
+    descriptors, cache-line striping); see DESIGN.md "Hot-path
+    deviations from Figure 9".  The paper-shaped two-word
+    implementation is preserved as {!Legacy} and registered as
+    ["tl2-two-word"].
 
     The proof in §7 shows this TM strongly opaque for DRF programs; the
     {!variant} parameter injects the classic validation bugs so the
@@ -36,6 +46,18 @@ type variant =
     the epoch fence never waits for transactions that began after it. *)
 type fence_impl = Flag_scan | Epoch
 
+(** The packed versioned write-lock word: [(version lsl 1) lor locked].
+    Locking preserves the version bits (CAS [w -> lock w]), so an
+    abort-time release restores the pre-lock version; a committing
+    write-back publishes version and unlock in one store. *)
+module Vlock : sig
+  val pack : ver:int -> locked:bool -> int
+  val version : int -> int
+  val locked : int -> bool
+  val lock : int -> int
+  val unlock : int -> int
+end
+
 module Make (S : Tm_runtime.Sched_intf.S) : sig
   include Tm_runtime.Tm_intf.S
 
@@ -46,6 +68,7 @@ module Make (S : Tm_runtime.Sched_intf.S) : sig
     ?commit_delay:int ->
     ?writeback_delay:int ->
     ?delay_threads:int list ->
+    ?log_timestamps:bool ->
     nregs:int ->
     nthreads:int ->
     unit ->
@@ -67,6 +90,7 @@ val create_with :
   ?commit_delay:int ->
   ?writeback_delay:int ->
   ?delay_threads:int list ->
+  ?log_timestamps:bool ->
   nregs:int ->
   nthreads:int ->
   unit ->
@@ -77,17 +101,23 @@ val create_with :
     E1) and [writeback_delay] iterations between individual register
     write-backs (the intermediate-state window of Figure 3, E4).
     [delay_threads] restricts the delays to the given threads (default:
-    all). *)
+    all).  [log_timestamps] forces the {!timestamp_log} on or off; by
+    default it is populated only when a recorder is attached, so
+    production runs do not leak a list cell per transaction. *)
 
 val clock : t -> int
-(** Current value of the global clock (diagnostics). *)
+(** Current value of the global clock (diagnostics).  Read-only
+    commits do not advance it. *)
 
 val timestamp_log : t -> (int * int * int * int) list
 (** [(thread, seq, rver, wver)] of every completed transaction, in
-    completion order; [seq] counts the thread's transactions from 0 and
+    completion order; [seq] counts the thread's transactions from 0.
     [wver] is [max_int] when the transaction never generated a write
-    timestamp.  Used to validate the timestamp invariants of the
-    paper's TL2 proof (§C, INV.5) against recorded histories. *)
+    timestamp (aborted before phase 2); a committed read-only
+    transaction records [wver = rver], its serialization point.  Empty
+    unless a recorder is attached or [~log_timestamps:true] was given.
+    Used to validate the timestamp invariants of the paper's TL2 proof
+    (§C, INV.5) against recorded histories. *)
 
 val stats_commits : t -> int
 val stats_aborts : t -> int
@@ -99,3 +129,8 @@ val obs : t -> Tm_obs.Obs.t
     histograms (fence waits, read/commit validation, write-lock
     acquisition).  Snapshot with {!Tm_obs.Obs.snapshot} at a quiescent
     point. *)
+
+(** The pre-overhaul, paper-shaped TL2 (two-word orecs, boxed
+    descriptors, always-FAA commit), kept as the measurement baseline
+    and registered as ["tl2-two-word"]. *)
+module Legacy = Tl2_legacy

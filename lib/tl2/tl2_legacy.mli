@@ -1,0 +1,54 @@
+(** The paper-shaped TL2 of Figure 9, frozen as the ["tl2-two-word"]
+    baseline: two metadata words per register ([ver] + owner [lock]),
+    per-transaction [Hashtbl] descriptors, a global-clock
+    [fetch_and_add] on every commit (read-only included) and an
+    unconditional [timestamp_log] push.  {!Tl2} supersedes it on the
+    hot path; this module remains so figure experiments can run
+    against code matching Figure 9 line for line and so the bench can
+    report honest before/after numbers.  Re-exported as
+    [Tl2.Legacy]. *)
+
+type variant = Normal | No_read_validation | No_commit_validation
+type fence_impl = Flag_scan | Epoch
+
+module Make (S : Tm_runtime.Sched_intf.S) : sig
+  include Tm_runtime.Tm_intf.S
+
+  val create_with :
+    ?recorder:Tm_runtime.Recorder.t ->
+    ?variant:variant ->
+    ?fence_impl:fence_impl ->
+    ?commit_delay:int ->
+    ?writeback_delay:int ->
+    ?delay_threads:int list ->
+    nregs:int ->
+    nthreads:int ->
+    unit ->
+    t
+
+  val clock : t -> int
+  val timestamp_log : t -> (int * int * int * int) list
+  val stats_commits : t -> int
+  val stats_aborts : t -> int
+  val obs : t -> Tm_obs.Obs.t
+end
+
+include Tm_runtime.Tm_intf.S
+
+val create_with :
+  ?recorder:Tm_runtime.Recorder.t ->
+  ?variant:variant ->
+  ?fence_impl:fence_impl ->
+  ?commit_delay:int ->
+  ?writeback_delay:int ->
+  ?delay_threads:int list ->
+  nregs:int ->
+  nthreads:int ->
+  unit ->
+  t
+
+val clock : t -> int
+val timestamp_log : t -> (int * int * int * int) list
+val stats_commits : t -> int
+val stats_aborts : t -> int
+val obs : t -> Tm_obs.Obs.t

@@ -18,10 +18,11 @@ module Make (S : Sched_intf.S) = struct
     recorder : Recorder.t option;
     commits : int Atomic.t;
     aborts : int Atomic.t;
+    descs : txn array;  (** reusable per-thread descriptors *)
     obs : Obs.t;
   }
 
-  type txn = { thread : int; mutable undo : (int * int) list }
+  and txn = { thread : int; undo : Txnset.Log.t }
 
   let create ?recorder ~nregs ~nthreads () =
     {
@@ -31,6 +32,9 @@ module Make (S : Sched_intf.S) = struct
       recorder;
       commits = Atomic.make 0;
       aborts = Atomic.make 0;
+      descs =
+        Array.init nthreads (fun thread ->
+            { thread; undo = Txnset.Log.create () });
       obs = Obs.create ();
     }
 
@@ -68,7 +72,9 @@ module Make (S : Sched_intf.S) = struct
     Atomic.set t.active.(thread) true;
     log t ~thread (Action.Request Action.Txbegin);
     log t ~thread (Action.Response Action.Okay);
-    { thread; undo = [] }
+    let txn = t.descs.(thread) in
+    Txnset.Log.clear txn.undo;
+    txn
 
   let read t txn x =
     log t ~thread:txn.thread (Action.Request (Action.Read x));
@@ -80,7 +86,7 @@ module Make (S : Sched_intf.S) = struct
   let write t txn x v =
     log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
     S.yield ();
-    txn.undo <- (x, Atomic.get t.reg.(x)) :: txn.undo;
+    Txnset.Log.push txn.undo x (Atomic.get t.reg.(x));
     S.yield ();
     Atomic.set t.reg.(x) v;
     log t ~thread:txn.thread (Action.Response Action.Ret_unit)
@@ -96,8 +102,8 @@ module Make (S : Sched_intf.S) = struct
 
   let abort t txn =
     (* roll the in-place writes back, newest first *)
-    List.iter
-      (fun (x, old) ->
+    Txnset.Log.iter_newest_first
+      (fun x old ->
         S.yield ();
         Atomic.set t.reg.(x) old)
       txn.undo;

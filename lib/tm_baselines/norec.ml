@@ -12,14 +12,18 @@ module Make (S : Sched_intf.S) = struct
     recorder : Recorder.t option;
     commits : int Atomic.t;
     aborts : int Atomic.t;
+    descs : txn array;  (** reusable per-thread descriptors *)
     obs : Obs.t;
   }
 
-  type txn = {
+  (* Per-thread scratch descriptor, cleared at [txn_begin] (each thread
+     runs one transaction at a time): NOrec's value log [rset] and its
+     write-set reuse the same generation-cleared tables as TL2's. *)
+  and txn = {
     thread : int;
     mutable snapshot : int;
-    rset : (int, int) Hashtbl.t;  (** register -> value seen *)
-    wset : (int, int) Hashtbl.t;
+    rset : Txnset.t;  (** register -> value seen *)
+    wset : Txnset.t;
   }
 
   let create ?recorder ~nregs ~nthreads () =
@@ -30,6 +34,14 @@ module Make (S : Sched_intf.S) = struct
       recorder;
       commits = Atomic.make 0;
       aborts = Atomic.make 0;
+      descs =
+        Array.init nthreads (fun thread ->
+            {
+              thread;
+              snapshot = 0;
+              rset = Txnset.create ();
+              wset = Txnset.create ();
+            });
       obs = Obs.create ();
     }
 
@@ -64,10 +76,10 @@ module Make (S : Sched_intf.S) = struct
     (* visible to fences before [Txbegin] is logged (condition 10) *)
     Atomic.set t.active.(thread) true;
     log t ~thread (Action.Request Action.Txbegin);
-    let txn =
-      { thread; snapshot = wait_even t; rset = Hashtbl.create 8;
-        wset = Hashtbl.create 8 }
-    in
+    let txn = t.descs.(thread) in
+    Txnset.clear txn.rset;
+    Txnset.clear txn.wset;
+    txn.snapshot <- wait_even t;
     log t ~thread (Action.Response Action.Okay);
     txn
 
@@ -76,16 +88,17 @@ module Make (S : Sched_intf.S) = struct
      consistent. *)
   let rec validate t txn cause =
     let s = wait_even t in
-    let ok =
-      Hashtbl.fold
-        (fun x v acc ->
-          acc
-          &&
-          (S.yield ();
-           Atomic.get t.reg.(x) = v))
-        txn.rset true
-    in
-    if not ok then abort_handler t txn cause
+    let n = Txnset.length txn.rset in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let x = Txnset.key txn.rset !i in
+      let v = Txnset.value txn.rset !i in
+      S.yield ();
+      ok := Atomic.get t.reg.(x) = v;
+      incr i
+    done;
+    if not !ok then abort_handler t txn cause
     else begin
       S.yield ();
       if Atomic.get t.glb <> s then validate t txn cause else s
@@ -93,34 +106,37 @@ module Make (S : Sched_intf.S) = struct
 
   let read t txn x =
     log t ~thread:txn.thread (Action.Request (Action.Read x));
-    match Hashtbl.find_opt txn.wset x with
-    | Some v ->
-        log t ~thread:txn.thread (Action.Response (Action.Ret v));
-        v
-    | None ->
-        let t0 = Obs.start () in
+    let wi = Txnset.index txn.wset x in
+    if wi >= 0 then begin
+      let v = Txnset.value txn.wset wi in
+      log t ~thread:txn.thread (Action.Response (Action.Ret v));
+      v
+    end
+    else begin
+      let t0 = Obs.start () in
+      S.yield ();
+      let v = ref (Atomic.get t.reg.(x)) in
+      S.yield ();
+      while txn.snapshot <> Atomic.get t.glb do
+        txn.snapshot <- validate t txn Obs.Read_validation;
         S.yield ();
-        let v = ref (Atomic.get t.reg.(x)) in
-        S.yield ();
-        while txn.snapshot <> Atomic.get t.glb do
-          txn.snapshot <- validate t txn Obs.Read_validation;
-          S.yield ();
-          v := Atomic.get t.reg.(x);
-          S.yield ()
-        done;
-        Obs.stop t.obs ~thread:txn.thread Obs.Span.Read_validation t0;
-        Hashtbl.replace txn.rset x !v;
-        log t ~thread:txn.thread (Action.Response (Action.Ret !v));
-        !v
+        v := Atomic.get t.reg.(x);
+        S.yield ()
+      done;
+      Obs.stop t.obs ~thread:txn.thread Obs.Span.Read_validation t0;
+      Txnset.set txn.rset x !v;
+      log t ~thread:txn.thread (Action.Response (Action.Ret !v));
+      !v
+    end
 
   let write t txn x v =
     log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
-    Hashtbl.replace txn.wset x v;
+    Txnset.set txn.wset x v;
     log t ~thread:txn.thread (Action.Response Action.Ret_unit)
 
   let commit t txn =
     log t ~thread:txn.thread (Action.Request Action.Txcommit);
-    if Hashtbl.length txn.wset = 0 then begin
+    if Txnset.is_empty txn.wset then begin
       (* read-only: commit without touching the clock *)
       log t ~thread:txn.thread (Action.Response Action.Committed);
       S.yield ();
@@ -140,7 +156,7 @@ module Make (S : Sched_intf.S) = struct
         S.yield ()
       done;
       Obs.stop t.obs ~thread:txn.thread Obs.Span.Write_lock t0;
-      Hashtbl.iter
+      Txnset.iter
         (fun x v ->
           S.yield ();
           Atomic.set t.reg.(x) v)

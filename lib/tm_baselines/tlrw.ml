@@ -18,14 +18,21 @@ module Make (S : Sched_intf.S) = struct
     spin_bound : int;
     commits : int Atomic.t;
     aborts : int Atomic.t;
+    descs : txn array;  (** reusable per-thread descriptors *)
     obs : Obs.t;
   }
 
-  type txn = {
+  (* Per-thread scratch descriptor, cleared at [txn_begin].  The lock
+     sets are generation-cleared tables, so the held-lock checks on
+     every read/write are O(1) instead of the former [List.mem] scans.
+     A read lock upgraded to a write lock stays in [rlocked]; release
+     paths skip registers that are also in [wlocked] (the upgrade CAS
+     consumed the reader count). *)
+  and txn = {
     thread : int;
-    mutable rlocked : int list;  (** registers where we hold a read lock *)
-    mutable wlocked : int list;  (** registers where we hold the write lock *)
-    mutable undo : (int * int) list;  (** in-place writes to roll back *)
+    rlocked : Txnset.t;  (** registers where we hold a read lock *)
+    wlocked : Txnset.t;  (** registers where we hold the write lock *)
+    undo : Txnset.Log.t;  (** in-place writes to roll back, newest first *)
   }
 
   let create_with ?recorder ?(spin_bound = 4096) ~nregs ~nthreads () =
@@ -37,6 +44,14 @@ module Make (S : Sched_intf.S) = struct
       spin_bound;
       commits = Atomic.make 0;
       aborts = Atomic.make 0;
+      descs =
+        Array.init nthreads (fun thread ->
+            {
+              thread;
+              rlocked = Txnset.create ();
+              wlocked = Txnset.create ();
+              undo = Txnset.Log.create ();
+            });
       obs = Obs.create ();
     }
 
@@ -52,26 +67,31 @@ module Make (S : Sched_intf.S) = struct
     | Some r -> Recorder.log r ~thread kind
     | None -> ()
 
+  let release_read_locks t txn =
+    Txnset.iter
+      (fun x _ ->
+        if not (Txnset.mem txn.wlocked x) then begin
+          S.yield ();
+          ignore (Atomic.fetch_and_add t.rw.(x) (-1))
+        end)
+      txn.rlocked
+
   let release_all t txn =
     (* roll back in-place writes, newest first *)
-    List.iter
-      (fun (x, old) ->
+    Txnset.Log.iter_newest_first
+      (fun x old ->
         S.yield ();
         Atomic.set t.reg.(x) old)
       txn.undo;
-    List.iter
-      (fun x ->
+    Txnset.iter
+      (fun x _ ->
         S.yield ();
         Atomic.set t.rw.(x) 0)
       txn.wlocked;
-    List.iter
-      (fun x ->
-        S.yield ();
-        ignore (Atomic.fetch_and_add t.rw.(x) (-1)))
-      txn.rlocked;
-    txn.undo <- [];
-    txn.wlocked <- [];
-    txn.rlocked <- []
+    release_read_locks t txn;
+    Txnset.Log.clear txn.undo;
+    Txnset.clear txn.wlocked;
+    Txnset.clear txn.rlocked
 
   let abort_handler t txn cause =
     release_all t txn;
@@ -87,7 +107,10 @@ module Make (S : Sched_intf.S) = struct
     (* visible to fences before [Txbegin] is logged (condition 10) *)
     Atomic.set t.active.(thread) true;
     log t ~thread (Action.Request Action.Txbegin);
-    let txn = { thread; rlocked = []; wlocked = []; undo = [] } in
+    let txn = t.descs.(thread) in
+    Txnset.clear txn.rlocked;
+    Txnset.clear txn.wlocked;
+    Txnset.Log.clear txn.undo;
     log t ~thread (Action.Response Action.Okay);
     txn
 
@@ -105,25 +128,23 @@ module Make (S : Sched_intf.S) = struct
           go (spins + 1)
         end
         else if Atomic.compare_and_set t.rw.(x) s (s + 1) then
-          txn.rlocked <- x :: txn.rlocked
+          Txnset.add txn.rlocked x
         else go (spins + 1)
       end
     in
     go 0
 
-  (* Acquire the write lock on [x], upgrading a held read lock if any. *)
+  (* Acquire the write lock on [x], upgrading a held read lock if any.
+     The upgrade CAS consumes our reader count; [x] stays in [rlocked]
+     and the release paths skip it there. *)
   let acquire_write t txn x =
-    let holding_read = List.mem x txn.rlocked in
-    let expected = if holding_read then 1 else 0 in
+    let expected = if Txnset.mem txn.rlocked x then 1 else 0 in
     let rec go spins =
       if spins > t.spin_bound then abort_handler t txn Obs.Write_lock_busy
       else begin
         S.yield ();
-        if Atomic.compare_and_set t.rw.(x) expected wbit then begin
-          if holding_read then
-            txn.rlocked <- List.filter (fun y -> y <> x) txn.rlocked;
-          txn.wlocked <- x :: txn.wlocked
-        end
+        if Atomic.compare_and_set t.rw.(x) expected wbit then
+          Txnset.add txn.wlocked x
         else begin
           S.spin ();
           go (spins + 1)
@@ -134,7 +155,7 @@ module Make (S : Sched_intf.S) = struct
 
   let read t txn x =
     log t ~thread:txn.thread (Action.Request (Action.Read x));
-    if not (List.mem x txn.wlocked || List.mem x txn.rlocked) then
+    if not (Txnset.mem txn.wlocked x || Txnset.mem txn.rlocked x) then
       acquire_read t txn x;
     S.yield ();
     let v = Atomic.get t.reg.(x) in
@@ -143,7 +164,7 @@ module Make (S : Sched_intf.S) = struct
 
   let write t txn x v =
     log t ~thread:txn.thread (Action.Request (Action.Write (x, v)));
-    if not (List.mem x txn.wlocked) then begin
+    if not (Txnset.mem txn.wlocked x) then begin
       let t0 = Obs.start () in
       (match acquire_write t txn x with
       | () -> Obs.stop t.obs ~thread:txn.thread Obs.Span.Write_lock t0
@@ -152,7 +173,7 @@ module Make (S : Sched_intf.S) = struct
           raise e)
     end;
     S.yield ();
-    txn.undo <- (x, Atomic.get t.reg.(x)) :: txn.undo;
+    Txnset.Log.push txn.undo x (Atomic.get t.reg.(x));
     S.yield ();
     Atomic.set t.reg.(x) v;
     log t ~thread:txn.thread (Action.Response Action.Ret_unit)
@@ -160,19 +181,15 @@ module Make (S : Sched_intf.S) = struct
   let commit t txn =
     log t ~thread:txn.thread (Action.Request Action.Txcommit);
     (* writes are already in place: just release every lock *)
-    List.iter
-      (fun x ->
+    Txnset.iter
+      (fun x _ ->
         S.yield ();
         Atomic.set t.rw.(x) 0)
       txn.wlocked;
-    List.iter
-      (fun x ->
-        S.yield ();
-        ignore (Atomic.fetch_and_add t.rw.(x) (-1)))
-      txn.rlocked;
-    txn.undo <- [];
-    txn.wlocked <- [];
-    txn.rlocked <- [];
+    release_read_locks t txn;
+    Txnset.Log.clear txn.undo;
+    Txnset.clear txn.wlocked;
+    Txnset.clear txn.rlocked;
     log t ~thread:txn.thread (Action.Response Action.Committed);
     S.yield ();
     Atomic.set t.active.(txn.thread) false;

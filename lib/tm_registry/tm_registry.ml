@@ -64,6 +64,7 @@ end
 
 module Make (Sch : Tm_runtime.Sched_intf.S) = struct
   module Tl2_i = Tl2.Make (Sch)
+  module Tl2_legacy_i = Tl2.Legacy.Make (Sch)
   module Norec_i = Tm_baselines.Norec.Make (Sch)
   module Tlrw_i = Tm_baselines.Tlrw.Make (Sch)
   module Lock_i = Tm_baselines.Global_lock.Make (Sch)
@@ -92,6 +93,36 @@ module Make (Sch : Tm_runtime.Sched_intf.S) = struct
       fence_impls = [ "flag-scan"; "epoch" ];
       faulty;
       faulty_variants = (if faulty then [] else tl2_faulty_variants);
+      has_windows = true;
+      tm = (module M : TM);
+    }
+
+  (* The pre-overhaul Figure 9 implementation (two metadata words per
+     register, boxed descriptors, FAA on every commit), kept first as
+     the measured "before" of BENCH_tl2.json and second so figure
+     experiments can be run against pseudocode-shaped TL2. *)
+  let tl2_two_word_entry =
+    let module M = struct
+      module T = Tl2_legacy_i
+
+      let make ?recorder ?(window = no_window) ~nregs ~nthreads () =
+        T.create_with ?recorder ~variant:Tl2.Legacy.Normal
+          ~fence_impl:Tl2.Legacy.Flag_scan ~commit_delay:window.commit_delay
+          ~writeback_delay:window.writeback_delay
+          ?delay_threads:window.delay_threads ~nregs ~nthreads ()
+
+      let stats t = (T.stats_commits t, T.stats_aborts t)
+      let snapshot t = Tm_obs.Obs.snapshot (T.obs t)
+    end in
+    {
+      name = "tl2-two-word";
+      description =
+        "paper-shaped TL2 (Fig 9 two-word orecs; perf baseline for tl2)";
+      privatization_safe = false;
+      needs_fences = true;
+      fence_impls = [ "flag-scan"; "epoch" ];
+      faulty = false;
+      faulty_variants = [];
       has_windows = true;
       tm = (module M : TM);
     }
@@ -177,6 +208,7 @@ module Make (Sch : Tm_runtime.Sched_intf.S) = struct
         ~description:"fault-injected TL2: skips commit-time revalidation"
         ~variant:Tl2.No_commit_validation ~fence_impl:Tl2.Flag_scan
         ~faulty:true;
+      tl2_two_word_entry;
       norec_entry;
       tlrw_entry;
       lock_entry;

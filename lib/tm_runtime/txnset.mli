@@ -1,0 +1,55 @@
+(** Reusable transaction descriptor storage: an insertion-ordered
+    open-addressing int->int table with O(1) generation-counter
+    [clear], so per-thread read/write-sets are scratch structures
+    cleared at [txn_begin] rather than allocated per transaction.
+
+    Not thread-safe; each instance is owned by one thread, which is
+    exactly the TM setting (one running transaction per thread). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is rounded up to a power of two (default 8); the table
+    grows as needed and the capacity is retained across [clear]. *)
+
+val clear : t -> unit
+(** O(1): bumps the generation counter, invalidating every slot. *)
+
+val length : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val index : t -> int -> int
+(** Insertion index of the key, or -1.  Use with {!value} to probe and
+    fetch without boxing an option. *)
+
+val find : t -> int -> default:int -> int
+val set : t -> int -> int -> unit
+(** Insert, or replace the value of an existing key. *)
+
+val add : t -> int -> unit
+(** Set-style insert ([set t k 0]); for read-sets with no payload. *)
+
+val key : t -> int -> int
+(** [key t i] is the i-th key in insertion order (post-{!sort}: sorted
+    order), [0 <= i < length t]. *)
+
+val value : t -> int -> int
+val iter : (int -> int -> unit) -> t -> unit
+
+val sort : t -> unit
+(** Sort entries in place by key, ascending, and rebuild the probe
+    index.  Used once per commit for deadlock-free lock ordering. *)
+
+(** Append-only pair log with the same O(1)-clear reuse discipline;
+    undo records are rolled back newest-first. *)
+module Log : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val clear : t -> unit
+  val length : t -> int
+  val push : t -> int -> int -> unit
+  val iter : (int -> int -> unit) -> t -> unit
+  val iter_newest_first : (int -> int -> unit) -> t -> unit
+end

@@ -21,6 +21,20 @@ let trial_seed ~seed trial =
   let z = (z lxor (z lsr 13)) * 0xc2b2ae35 in
   (z lxor (z lsr 16)) land max_int
 
+(* Below this many trials the domain-pool setup costs more than the
+   trials themselves; the auto runner stays sequential. *)
+let min_parallel_trials = 4
+
+let auto_parallel ?pool ?domains ~trials () =
+  Tm_runtime.Pool.parallel_enabled ()
+  && trials >= min_parallel_trials
+  && Domain.recommended_domain_count () > 1
+  &&
+  match (pool, domains) with
+  | Some p, _ -> Tm_runtime.Pool.domains p > 1
+  | None, Some d -> d > 1
+  | None, None -> Tm_runtime.Pool.default_domains () > 1
+
 let stats_of_outcomes ~seeds outcomes =
   let violations = ref 0 in
   let divergences = ref 0 in
@@ -215,13 +229,7 @@ module Make (T : Tm_runtime.Tm_intf.S) = struct
 
   let run_trials_auto ?fuel ?seed ?pool ?domains ~make_tm ~policy ~trials
       ~nregs fig =
-    let want_parallel =
-      match (pool, domains) with
-      | Some p, _ -> Tm_runtime.Pool.domains p > 1
-      | None, Some d -> d > 1
-      | None, None -> Tm_runtime.Pool.default_domains () > 1
-    in
-    if Tm_runtime.Pool.parallel_enabled () && want_parallel then
+    if auto_parallel ?pool ?domains ~trials () then
       run_trials_parallel ?fuel ?seed ?pool ?domains ~make_tm ~policy
         ~trials ~nregs fig
     else run_trials ?fuel ?seed ~make_tm ~policy ~trials ~nregs fig

@@ -35,6 +35,20 @@ val trial_seed : seed:int -> int -> int
     a SplitMix-style hash of [(seed, i)], independent of scheduling
     and of which pool worker runs the trial. *)
 
+val min_parallel_trials : int
+(** Trial batches smaller than this stay sequential under the auto
+    runners: the pool setup would dominate. *)
+
+val auto_parallel :
+  ?pool:Tm_runtime.Pool.t -> ?domains:int -> trials:int -> unit -> bool
+(** Whether the auto runners ({!Make.run_trials_auto},
+    {!run_trials_auto_entry}) would shard this batch across a domain
+    pool.  False — the sequential fallback — when [PARALLEL=0], when
+    the batch is smaller than {!min_parallel_trials}, when
+    [Domain.recommended_domain_count () <= 1] (parallel trials on a
+    single-core host only add pool overhead; see BENCH_harness.json's
+    [mode] field), or when the pool/domain count is 1. *)
+
 module Make (T : Tm_runtime.Tm_intf.S) : sig
   val exec_thread :
     elide_ro_fences:bool -> T.t -> int -> Ast.com -> int -> Ast.env * bool
@@ -102,9 +116,10 @@ module Make (T : Tm_runtime.Tm_intf.S) : sig
     nregs:int ->
     Figures.figure ->
     trial_stats
-  (** {!run_trials_parallel} when the [PARALLEL] environment variable
-      allows it and more than one domain is available, otherwise
-      {!run_trials}.  [PARALLEL=0] is the sequential escape hatch. *)
+  (** {!run_trials_parallel} when {!auto_parallel} says sharding pays
+      off, otherwise {!run_trials}: [PARALLEL=0], a single-core host,
+      a tiny batch, or a one-domain pool all select the sequential
+      fallback. *)
 end
 
 (** {2 Registry-dispatched trial runners}

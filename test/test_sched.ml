@@ -221,6 +221,58 @@ let test_tl2_nofence_pct_finds () =
           check bool "PCT seed replay reproduces the identical history" true
             (history_text replayed = history_text f.Sched.f_value))
 
+(* The hot-path TL2 (packed vlock word, read-only commit fast path,
+   descriptor reuse) and the frozen two-word Figure 9 TL2 must be
+   indistinguishable to the checker: both find the Figure 1(a) anomaly
+   without the fence under the same bounded-exhaustive budget, and both
+   stay clean with it under every oracle.  This is the CI sched-matrix
+   [tl2*] branch as an alcotest case — the optimizations must not move
+   any verdict. *)
+let test_two_word_verdict_parity () =
+  let nofence = Figures.fig1a ~fenced:false () in
+  let fenced = Figures.fig1a ~fenced:true () in
+  let spec = Sched.Exhaustive { preemptions = 1; max_execs = 5000 } in
+  List.iter
+    (fun name ->
+      let tm = Harness.Registry.find_exn name in
+      (match
+         Harness.explore_tm ~fuel:256 ~tm ~policy:policy_none ~spec
+           ~bug:Harness.Post nofence
+       with
+      | Sched.Passed _ ->
+          Alcotest.failf "%s unfenced: exhaustive exploration missed the anomaly"
+            name
+      | Sched.Found f ->
+          check bool
+            (Printf.sprintf "%s unfenced: postcondition violated" name)
+            true
+            (Harness.post_violated f.Sched.f_value));
+      match
+        Harness.explore_tm ~fuel:256 ~tm ~policy:policy_sel ~spec
+          ~bug:Harness.Any fenced
+      with
+      | Sched.Passed _ -> ()
+      | Sched.Found f ->
+          Alcotest.failf "%s fenced flagged: %s" name
+            (Harness.describe f.Sched.f_value))
+    [ "tl2"; "tl2-two-word" ]
+
+(* Figure 2 (publication) is DRF and fence-free safe; the reader's
+   transaction can commit read-only, so this drives the read-only
+   commit fast path under the deterministic scheduler with every
+   oracle armed (postcondition, race detector, opacity monitor).
+   Bounded-exhaustive search over the optimized TL2 must stay clean. *)
+let test_tl2_fig2_exhaustive_clean () =
+  match
+    Harness.explore_tm ~fuel:256 ~tm:tl2 ~policy:policy_none
+      ~spec:(Sched.Exhaustive { preemptions = 1; max_execs = 5000 })
+      ~bug:Harness.Any Figures.fig2
+  with
+  | Sched.Passed _ -> ()
+  | Sched.Found f ->
+      Alcotest.failf "tl2 flagged on fig2 (publication): %s"
+        (Harness.describe f.Sched.f_value)
+
 (* The privatization-safe baselines keep Figure 1(a)'s postcondition
    with no fence at all (the program is racy, but NOrec's value-based
    validation, TLRW's visible readers and the global lock's mutual
@@ -404,6 +456,10 @@ let () =
             test_tl2_fenced_passes;
           Alcotest.test_case "tl2 epoch fence passes" `Quick
             test_tl2_epoch_fenced_passes;
+          Alcotest.test_case "tl2 / tl2-two-word verdict parity" `Quick
+            test_two_word_verdict_parity;
+          Alcotest.test_case "tl2 fig2 publication: exhaustive clean" `Quick
+            test_tl2_fig2_exhaustive_clean;
           Alcotest.test_case "norec/tlrw/lock fence-free safe" `Quick
             test_baselines_fence_free_safe;
           Alcotest.test_case "tl2 no-fence: fig1b race" `Quick

@@ -18,7 +18,7 @@ let aborts f =
 (* ----------------------- sequential paths -------------------------- *)
 
 let test_commit_advances_clock () =
-  let tm = Tl2.create ~nregs:4 ~nthreads:2 () in
+  let tm = Tl2.create_with ~log_timestamps:true ~nregs:4 ~nthreads:2 () in
   let txn = Tl2.txn_begin tm ~thread:0 in
   Tl2.write tm txn 0 7;
   Tl2.commit tm txn;
@@ -28,6 +28,78 @@ let test_commit_advances_clock () =
   check int "no aborts" 0 (Tl2.stats_aborts tm);
   check bool "timestamp log records the transaction" true
     (Tl2.timestamp_log tm <> [])
+
+(* The read-only fast path: an empty write-set commits after read-set
+   validation alone, without a global-clock fetch_and_add. *)
+let test_read_only_commit_leaves_clock () =
+  let tm = Tl2.create_with ~log_timestamps:true ~nregs:4 ~nthreads:2 () in
+  let w = Tl2.txn_begin tm ~thread:0 in
+  Tl2.write tm w 0 7;
+  Tl2.commit tm w;
+  check int "writer advanced the clock" 1 (Tl2.clock tm);
+  let ro = Tl2.txn_begin tm ~thread:1 in
+  check int "reads the committed value" 7 (Tl2.read tm ro 0);
+  check int "reads another register" Tm_model.Types.v_init (Tl2.read tm ro 1);
+  Tl2.commit tm ro;
+  check int "read-only commit left the clock alone" 1 (Tl2.clock tm);
+  check int "both committed" 2 (Tl2.stats_commits tm);
+  check int "no aborts" 0 (Tl2.stats_aborts tm);
+  (* the read-only transaction serializes at its snapshot *)
+  (match List.rev (Tl2.timestamp_log tm) with
+  | (thread, _, rver, wver) :: _ ->
+      check int "last entry is the reader" 1 thread;
+      check int "read-only wver = rver" rver wver
+  | [] -> Alcotest.fail "timestamp log empty");
+  (* the fast path still validates: a conflicting writer aborts it *)
+  let ro = Tl2.txn_begin tm ~thread:1 in
+  let (_ : int) = Tl2.read tm ro 0 in
+  let w = Tl2.txn_begin tm ~thread:0 in
+  Tl2.write tm w 0 8;
+  Tl2.commit tm w;
+  check bool "stale read-only commit aborts" true
+    (aborts (fun () -> Tl2.commit tm ro))
+
+(* Packed versioned write-lock words: version and lock bit round-trip,
+   and locking preserves the version bits. *)
+let test_vlock_roundtrip () =
+  List.iter
+    (fun ver ->
+      List.iter
+        (fun locked ->
+          let w = Tl2.Vlock.pack ~ver ~locked in
+          check int "version round-trips" ver (Tl2.Vlock.version w);
+          check bool "lock bit round-trips" locked (Tl2.Vlock.locked w))
+        [ false; true ])
+    [ 0; 1; 2; 255; 1 lsl 40; (max_int lsr 1) - 1 ];
+  let w = Tl2.Vlock.pack ~ver:42 ~locked:false in
+  let l = Tl2.Vlock.lock w in
+  check bool "lock sets the bit" true (Tl2.Vlock.locked l);
+  check int "lock preserves the version" 42 (Tl2.Vlock.version l);
+  let u = Tl2.Vlock.unlock l in
+  check bool "unlock clears the bit" false (Tl2.Vlock.locked u);
+  check int "unlock preserves the version" 42 (Tl2.Vlock.version u);
+  check int "unlock restores the word" w u
+
+(* The unbounded timestamp log only accumulates when asked to (or when
+   a recorder is attached), so production runs do not leak. *)
+let test_timestamp_log_gated () =
+  let commit_one tm =
+    let txn = Tl2.txn_begin tm ~thread:0 in
+    Tl2.write tm txn 0 1;
+    Tl2.commit tm txn
+  in
+  let tm = Tl2.create ~nregs:2 ~nthreads:1 () in
+  commit_one tm;
+  check bool "no recorder: log stays empty" true (Tl2.timestamp_log tm = []);
+  let tm = Tl2.create_with ~log_timestamps:true ~nregs:2 ~nthreads:1 () in
+  commit_one tm;
+  check int "explicit flag: log populated" 1
+    (List.length (Tl2.timestamp_log tm));
+  let recorder = Tm_runtime.Recorder.create () in
+  let tm = Tl2.create ~recorder ~nregs:2 ~nthreads:1 () in
+  commit_one tm;
+  check int "recorder attached: log populated" 1
+    (List.length (Tl2.timestamp_log tm))
 
 let test_read_validation_aborts_stale () =
   let tm = Tl2.create ~nregs:4 ~nthreads:2 () in
@@ -127,7 +199,11 @@ let test_write_lock_conflict () =
   check int "one commit" 1 (T.stats_commits tm);
   check int "one abort" 1 (T.stats_aborts tm);
   let v = Sched.unscheduled (fun () -> T.read_nt tm ~thread:0 0) in
-  check bool "winner's value installed" true (v = 10 || v = 11)
+  check bool "winner's value installed" true (v = 10 || v = 11);
+  (* the loser's abort is attributed to the busy write lock *)
+  let s = Tm_obs.Obs.snapshot (T.obs tm) in
+  check int "abort cause is write-lock-busy" 1
+    (Tm_obs.Obs.abort_count s Tm_obs.Obs.Write_lock_busy)
 
 (* The transactional fence must not complete while a transaction that
    began before it is still live (history condition 10) — driven so the
@@ -169,6 +245,12 @@ let () =
         [
           Alcotest.test_case "commit advances clock" `Quick
             test_commit_advances_clock;
+          Alcotest.test_case "read-only commit leaves the clock" `Quick
+            test_read_only_commit_leaves_clock;
+          Alcotest.test_case "packed lock word round-trips" `Quick
+            test_vlock_roundtrip;
+          Alcotest.test_case "timestamp log gated off by default" `Quick
+            test_timestamp_log_gated;
           Alcotest.test_case "read validation aborts stale read" `Quick
             test_read_validation_aborts_stale;
           Alcotest.test_case "no-read-validation variant reads stale" `Quick
